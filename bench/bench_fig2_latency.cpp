@@ -1,0 +1,58 @@
+// Reproduces Figure 2: average and P99.9 latency of ESSD-1 and ESSD-2
+// under four access patterns x I/O sizes {4..256} KiB x queue depths
+// {1..16}, expressed as the multiple over the local-SSD reference (the
+// "latency gap"), with the absolute ESSD latency in parentheses — the same
+// cell format as the paper's heatmaps.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "contract/report.h"
+
+int main(int argc, char** argv) {
+  using namespace uc;
+  const auto scale = bench::parse_scale(argc, argv);
+
+  contract::SuiteConfig cfg;
+  cfg.sizes = {4096, 16384, 65536, 262144};
+  cfg.queue_depths = scale.quick ? std::vector<int>{1, 4, 16}
+                                 : std::vector<int>{1, 2, 4, 8, 16};
+  cfg.ops_per_cell = scale.quick ? 800 : 3000;
+  cfg.region_bytes = 2ull << 30;
+  cfg.seed = 7;
+  const contract::CharacterizationSuite suite(cfg);
+
+  bench::print_header(
+      "Figure 2 — ESSD latency and the gap over the local SSD",
+      "ESSD-1 avg gaps up to ~48x (P99.9 ~99x), ESSD-2 up to ~17x (~104x); "
+      "gaps shrink as size/QD scale; random-read gaps smallest "
+      "(ESSD-1 ~8-9x, ESSD-2 ~4-5x)");
+
+  const auto devices = bench::paper_devices(scale);
+  const auto& ssd = devices[2];
+  std::printf("running reference study: %s ...\n", ssd.name.c_str());
+  const auto ssd_study = suite.run_latency_study(ssd.factory);
+
+  for (int d = 0; d < 2; ++d) {
+    std::printf("\nrunning target study: %s ...\n", devices[d].name.c_str());
+    const auto study = suite.run_latency_study(devices[d].factory);
+    for (const bool p999 : {false, true}) {
+      std::printf("\n--- %s, %s latency (gap over SSD, absolute in parens) ---\n",
+                  devices[d].name.c_str(), p999 ? "P99.9" : "average");
+      for (int k = 0; k < contract::kWorkloadKinds; ++k) {
+        std::printf("%s",
+                    contract::render_latency_matrix(
+                        study.matrices[k], ssd_study.matrices[k], p999)
+                        .c_str());
+      }
+    }
+  }
+
+  std::printf("\n--- SSD reference absolute latencies (average) ---\n");
+  for (int k = 0; k < contract::kWorkloadKinds; ++k) {
+    std::printf("%s", contract::render_latency_matrix_absolute(
+                          ssd_study.matrices[k], false)
+                          .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Implication 3 ablation: is it still worth converting random writes into
+// sequential writes (log-structuring) on an ESSD?  Compares an in-place
+// random writer against a log-structured writer (sequential appends plus
+// periodic whole-region compaction rewrites, the classic LSM/F2FS cost) on
+// each device.
+//
+// On the local SSD the log-structured strategy avoids device GC; on the
+// ESSD random writes are *faster* than sequential and GC is already hidden,
+// so the conversion only adds compaction traffic (paper §III-D).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strfmt.h"
+#include "common/table.h"
+#include "workload/runner.h"
+
+namespace uc {
+namespace {
+
+/// User-visible throughput of writing `user_bytes` of 16 KiB random
+/// updates via in-place writes.
+double run_inplace(const contract::DeviceFactory& factory,
+                   std::uint64_t region, std::uint64_t user_bytes) {
+  sim::Simulator sim;
+  auto device = factory(sim);
+  wl::JobSpec spec;
+  spec.pattern = wl::AccessPattern::kRandom;
+  spec.io_bytes = 16384;
+  spec.queue_depth = 16;
+  spec.region_bytes = region;
+  spec.total_bytes = user_bytes;
+  spec.seed = 41;
+  const auto stats = wl::JobRunner::run_to_completion(sim, *device, spec);
+  const SimTime span = stats.last_complete - stats.first_submit;
+  return span == 0 ? 0.0
+                   : static_cast<double>(user_bytes) /
+                         static_cast<double>(span);
+}
+
+/// Log-structured strategy: appends the same updates sequentially in large
+/// I/Os, paying a compaction factor of extra sequential rewrites (read +
+/// rewrite amortized as extra writes), like an LSM tree or log FS would.
+double run_log_structured(const contract::DeviceFactory& factory,
+                          std::uint64_t region, std::uint64_t user_bytes,
+                          double compaction_factor) {
+  sim::Simulator sim;
+  auto device = factory(sim);
+  wl::JobSpec spec;
+  spec.pattern = wl::AccessPattern::kSequential;
+  spec.io_bytes = 262144;  // the log batches small updates into big appends
+  spec.queue_depth = 16;
+  spec.region_bytes = region;
+  spec.total_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(user_bytes) * compaction_factor);
+  spec.seed = 43;
+  const auto stats = wl::JobRunner::run_to_completion(sim, *device, spec);
+  const SimTime span = stats.last_complete - stats.first_submit;
+  // User-visible rate: user bytes over the time including compaction work.
+  return span == 0 ? 0.0
+                   : static_cast<double>(user_bytes) /
+                         static_cast<double>(span);
+}
+
+}  // namespace
+}  // namespace uc
+
+int main(int argc, char** argv) {
+  using namespace uc;
+  const auto scale = bench::parse_scale(argc, argv);
+  const std::uint64_t region = 2ull << 30;
+  const std::uint64_t user_bytes = scale.quick ? (512ull << 20) : (2ull << 30);
+
+  bench::print_header(
+      "Implication 3 — rethink random-to-sequential write conversion",
+      "random writes reach 1.5x/2.8x sequential throughput on ESSD-1/2; "
+      "log-structuring pays compaction for a device-side benefit that no "
+      "longer exists");
+
+  TextTable table({"device", "in-place rand (GB/s)",
+                   "log-structured WA=2 (GB/s)", "log-structured WA=3 (GB/s)",
+                   "best strategy"});
+  for (const auto& dev : bench::paper_devices(scale)) {
+    const double inplace = run_inplace(dev.factory, region, user_bytes);
+    const double log2x =
+        run_log_structured(dev.factory, region, user_bytes, 2.0);
+    const double log3x =
+        run_log_structured(dev.factory, region, user_bytes, 3.0);
+    const char* best = inplace >= log2x ? "in-place random" : "log-structured";
+    table.add_row({dev.name, strfmt("%.2f", inplace), strfmt("%.2f", log2x),
+                   strfmt("%.2f", log3x), best});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("note: WA = compaction write amplification of the log "
+              "(LSM-style rewrites); user-visible throughput shown.\n");
+  std::printf("reading the table: on ESSD-2 and the (GC-free) SSD the log "
+              "pays compaction for nothing; where the log still wins (an "
+              "IOPS-bound profile like ESSD-1) the benefit comes from its "
+              "large batched appends — Implication 1's I/O scaling — not "
+              "from sequentiality itself.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Google-benchmark micro suite for the simulation substrate itself:
+// event-queue throughput, histogram recording, token-bucket admission, RNG
+// and zipf draws, and end-to-end simulated-IOPS per wall-second for both
+// device families.  These bound how large an experiment the harness can
+// run, and guard against performance regressions in the hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/token_bucket.h"
+#include "essd/essd_device.h"
+#include "sim/simulator.h"
+#include "ssd/ssd_device.h"
+#include "workload/runner.h"
+
+namespace uc {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule_after(static_cast<SimTime>(i * 17 % 997),
+                         [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.record(rng.next_u64() % 10000000);
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) h.record(rng.next_u64() % 10000000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.percentile(99.9));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_TokenBucket(benchmark::State& state) {
+  TokenBucket bucket(1e9, 1e9);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 100;
+    benchmark::DoNotOptimize(bucket.try_consume(now, 64.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenBucket);
+
+void BM_ZipfDraw(benchmark::State& state) {
+  Rng rng(3);
+  ZipfGenerator zipf(1 << 20, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfDraw);
+
+void BM_SsdSimulatedIops(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    ssd::SsdDevice device(sim, ssd::samsung_970pro_scaled(2ull << 30));
+    wl::JobSpec spec;
+    spec.pattern = wl::AccessPattern::kRandom;
+    spec.io_bytes = 4096;
+    spec.queue_depth = 16;
+    spec.total_ops = 20000;
+    spec.seed = 5;
+    const auto stats = wl::JobRunner::run_to_completion(sim, device, spec);
+    benchmark::DoNotOptimize(stats.total_ops());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_SsdSimulatedIops)->Unit(benchmark::kMillisecond);
+
+void BM_EssdSimulatedIops(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    essd::EssdDevice device(sim, essd::alibaba_pl3_profile(4ull << 30));
+    wl::JobSpec spec;
+    spec.pattern = wl::AccessPattern::kRandom;
+    spec.io_bytes = 4096;
+    spec.queue_depth = 16;
+    spec.total_ops = 20000;
+    spec.seed = 5;
+    const auto stats = wl::JobRunner::run_to_completion(sim, device, spec);
+    benchmark::DoNotOptimize(stats.total_ops());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_EssdSimulatedIops)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace uc

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file bench_util.h
+/// Shared helpers for the benchmark harness: device factories at bench
+/// scale, --quick parsing, and paper-reference printing.
+///
+/// Scaling note (DESIGN.md §2): capacities are scaled down (the paper used
+/// 1-2 TB volumes); bandwidths, latencies, and budgets are NOT scaled, and
+/// GC/cleaning cliffs are reported in multiples of capacity, which is
+/// scale-free.
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "contract/suite.h"
+#include "essd/essd_device.h"
+#include "ssd/ssd_device.h"
+
+namespace uc::bench {
+
+struct Scale {
+  std::uint64_t ssd_capacity = 16ull << 30;   // paper: 1 TB
+  std::uint64_t essd_capacity = 32ull << 30;  // paper: 2 TB (2x the SSD)
+  bool quick = false;
+};
+
+inline Scale parse_scale(int argc, char** argv) {
+  Scale s;
+  bool quick = std::getenv("UC_BENCH_QUICK") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--full") == 0) quick = false;
+  }
+  if (quick) {
+    s.quick = true;
+    s.ssd_capacity = 8ull << 30;
+    s.essd_capacity = 16ull << 30;
+  }
+  return s;
+}
+
+inline contract::DeviceFactory ssd_factory(std::uint64_t capacity) {
+  return [capacity](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+    return std::make_unique<ssd::SsdDevice>(
+        sim, ssd::samsung_970pro_scaled(capacity));
+  };
+}
+
+inline contract::DeviceFactory essd1_factory(std::uint64_t capacity) {
+  return [capacity](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+    return std::make_unique<essd::EssdDevice>(sim,
+                                              essd::aws_io2_profile(capacity));
+  };
+}
+
+inline contract::DeviceFactory essd2_factory(std::uint64_t capacity) {
+  return [capacity](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+    return std::make_unique<essd::EssdDevice>(
+        sim, essd::alibaba_pl3_profile(capacity));
+  };
+}
+
+struct NamedDevice {
+  std::string name;
+  contract::DeviceFactory factory;
+  double guaranteed_gbs = 0.0;
+  double guaranteed_iops = 0.0;
+};
+
+/// ESSD-1, ESSD-2, SSD — the paper's Table I lineup.
+inline std::vector<NamedDevice> paper_devices(const Scale& s) {
+  return {
+      {"ESSD-1 (AWS io2 sim)", essd1_factory(s.essd_capacity), 3.0, 25600},
+      {"ESSD-2 (Alibaba PL3 sim)", essd2_factory(s.essd_capacity), 1.1,
+       100000},
+      {"SSD (970 Pro sim)", ssd_factory(s.ssd_capacity), 0.0, 0.0},
+  };
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper reference: %s\n", paper_ref);
+  std::printf("=====================================================\n");
+}
+
+}  // namespace uc::bench

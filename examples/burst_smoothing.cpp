@@ -1,0 +1,84 @@
+// Burst smoothing (Implication 4): generates a bursty synthetic cloud
+// trace, replays it raw and through the leaky-bucket smoother against an
+// ESSD provisioned at a fraction of the peak rate, and reports the tail
+// latency and queue growth each way — the "provision for the mean, not the
+// peak" argument, runnable.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/strfmt.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "essd/essd_device.h"
+#include "sim/simulator.h"
+#include "workload/shaper.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace uc;
+  using namespace uc::units;
+
+  std::printf("burst smoothing on a budget-constrained ESSD "
+              "(Implication 4)\n\n");
+
+  // A spiky trace: modest base load with 12x bursts.
+  wl::TraceGenConfig tcfg;
+  tcfg.duration = 30 * kSec;
+  tcfg.base_iops = 2000.0;
+  tcfg.burst_iops = 24000.0;
+  tcfg.bursts_per_s = 0.15;
+  tcfg.write_fraction = 0.8;
+  tcfg.region_bytes = 1 * kGiB;
+  tcfg.seed = 1234;
+
+  sim::Simulator probe;
+  essd::EssdDevice probe_dev(probe, essd::alibaba_pl3_profile(4 * kGiB));
+  const auto trace = wl::generate_trace(tcfg, probe_dev.info());
+
+  double mean_gbs = 0.0;
+  for (const auto& ev : trace) mean_gbs += static_cast<double>(ev.bytes);
+  mean_gbs /= static_cast<double>(tcfg.duration);
+  std::printf("trace: %zu I/Os, mean %.3f GB/s, peak-to-mean %.1fx\n\n",
+              trace.size(), mean_gbs, wl::trace_peak_to_mean(trace));
+
+  TextTable table({"volume budget", "mode", "p50 (ms)", "p99 (ms)",
+                   "p99.9 (ms)", "max queue"});
+  for (const double budget_gbs : {0.6, 0.3, 0.15}) {
+    for (const bool smoothed : {false, true}) {
+      sim::Simulator sim;
+      auto cfg = essd::alibaba_pl3_profile(4 * kGiB);
+      cfg.qos.bw_bytes_per_s = budget_gbs * 1e9;
+      cfg.qos.iops = 100000.0 * budget_gbs / 1.1;
+      essd::EssdDevice device(sim, cfg);
+      std::unique_ptr<wl::SmoothingDevice> smoother;
+      BlockDevice* target = &device;
+      if (smoothed) {
+        // Pace just under the paid budget: the burst backlog queues
+        // host-side instead of against the provider throttle.
+        smoother = std::make_unique<wl::SmoothingDevice>(
+            sim, device, wl::SmootherConfig{budget_gbs * 0.9 * 1e9, 0.2});
+        target = smoother.get();
+      }
+      wl::TraceReplayer replayer(sim, *target, trace);
+      replayer.start();
+      sim.run();
+      const auto& stats = replayer.stats();
+      table.add_row(
+          {strfmt("%.2f GB/s", budget_gbs), smoothed ? "smoothed" : "raw",
+           strfmt("%.2f", static_cast<double>(stats.all_latency.percentile(50)) / 1e6),
+           strfmt("%.1f", static_cast<double>(stats.all_latency.percentile(99)) / 1e6),
+           strfmt("%.1f", static_cast<double>(stats.all_latency.percentile(99.9)) / 1e6),
+           strfmt("%llu",
+                  static_cast<unsigned long long>(replayer.max_inflight()))});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nreading the table: the burst backlog (not the %.3f GB/s "
+              "mean) dictates the budget a tail SLO needs; pacing at 0.9x "
+              "the budget keeps that backlog host-visible and tunable, and "
+              "Implication 4's advice is choosing the cheapest budget row "
+              "whose backlog your SLO tolerates.\n",
+              mean_gbs);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Contract audit: runs the full automated unwritten-contract check against
+// both ESSD profiles, using the local SSD as the reference device, and
+// prints the evaluated contract — per-observation verdicts with evidence
+// and the five implications as device-specific advice.
+//
+//   $ ./contract_audit            # quick grids (seconds)
+//   $ ./contract_audit --full     # paper-scale grids (minutes)
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/units.h"
+#include "contract/checker.h"
+#include "contract/report.h"
+#include "essd/essd_device.h"
+#include "ssd/ssd_device.h"
+
+int main(int argc, char** argv) {
+  using namespace uc;
+  using namespace uc::units;
+
+  contract::CheckerOptions options;
+  options.quick = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) options.quick = false;
+  }
+  options.gc_capacity_multiples = options.quick ? 1.5 : 3.0;
+
+  const std::uint64_t essd_capacity = options.quick ? 8 * kGiB : 32 * kGiB;
+  const std::uint64_t ssd_capacity = options.quick ? 4 * kGiB : 16 * kGiB;
+
+  const contract::DeviceFactory ssd_factory =
+      [ssd_capacity](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+    return std::make_unique<ssd::SsdDevice>(
+        sim, ssd::samsung_970pro_scaled(ssd_capacity));
+  };
+
+  const contract::ContractChecker checker(options);
+
+  struct Target {
+    const char* name;
+    contract::DeviceFactory factory;
+    double budget_gbs;
+  };
+  const Target targets[] = {
+      {"ESSD-1 (AWS io2 sim)",
+       [essd_capacity](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+         return std::make_unique<essd::EssdDevice>(
+             sim, essd::aws_io2_profile(essd_capacity));
+       },
+       3.0},
+      {"ESSD-2 (Alibaba PL3 sim)",
+       [essd_capacity](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+         return std::make_unique<essd::EssdDevice>(
+             sim, essd::alibaba_pl3_profile(essd_capacity));
+       },
+       1.1},
+  };
+
+  for (const auto& target : targets) {
+    std::printf("auditing %s (this runs the full characterization "
+                "suite)...\n\n", target.name);
+    const auto contract_result =
+        checker.check(target.factory, target.name, ssd_factory,
+                      "Samsung 970 Pro (sim)", target.budget_gbs);
+    std::printf("%s\n", contract::render_contract(contract_result).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file block_device.h
+/// The asynchronous block-device abstraction every simulated device
+/// implements (local SSD and cloud ESSD alike), mirroring the paper's
+/// premise that an ESSD "employs the block interface and supports random
+/// access" so existing software stacks see the two devices identically.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace uc {
+
+enum class IoOp : std::uint8_t {
+  kRead = 0,
+  kWrite,
+  kFlush,  ///< barrier: completes when previously acked writes are durable
+  kTrim,   ///< discard: invalidates the addressed range
+};
+
+const char* io_op_name(IoOp op);
+inline bool is_data_op(IoOp op) { return op == IoOp::kRead || op == IoOp::kWrite; }
+
+/// A single block I/O.  Offsets and sizes must be 4 KiB aligned (enforced by
+/// `validate_request`); `bytes` may span many logical pages (large I/Os are
+/// the paper's Implication 1).
+struct IoRequest {
+  IoId id = 0;
+  IoOp op = IoOp::kRead;
+  ByteOffset offset = 0;
+  std::uint32_t bytes = kLogicalPageBytes;
+};
+
+/// Completion record delivered to the submitter's callback.
+struct IoResult {
+  IoId id = 0;
+  IoOp op = IoOp::kRead;
+  ByteOffset offset = 0;
+  std::uint32_t bytes = 0;
+  SimTime submit_time = 0;
+  SimTime complete_time = 0;
+
+  SimTime latency() const { return complete_time - submit_time; }
+};
+
+using CompletionFn = std::function<void(const IoResult&)>;
+
+/// Static facts a workload or checker may need about a device.
+struct DeviceInfo {
+  std::string name;
+  std::uint64_t capacity_bytes = 0;
+  std::uint32_t logical_block_bytes = kLogicalPageBytes;
+  /// Provider-guaranteed ceilings; zero when unguaranteed (local SSDs).
+  double guaranteed_bw_gbs = 0.0;
+  double guaranteed_iops = 0.0;
+};
+
+/// Asynchronous block device driven entirely by the discrete-event
+/// simulator.  `submit` never blocks: the completion callback fires through
+/// a simulator event once the modeled I/O path finishes.
+///
+/// Implementations must tolerate completions triggering further submissions
+/// from inside the callback (that is exactly what the closed-loop workload
+/// runner does).
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual const DeviceInfo& info() const = 0;
+
+  /// Validates and enqueues the request.  The request must pass
+  /// `validate_request(info(), req)`.
+  virtual void submit(const IoRequest& req, CompletionFn done) = 0;
+
+  /// Shared validation helper: alignment, bounds, non-zero size.
+  static Status validate_request(const DeviceInfo& info, const IoRequest& req);
+};
+
+}  // namespace uc

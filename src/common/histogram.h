@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file histogram.h
+/// HDR-style log-linear latency histogram.
+///
+/// Values (nanoseconds) are bucketed into power-of-two "majors" subdivided
+/// into `kSubBuckets` linear "minors", giving a bounded relative error of
+/// 1/kSubBuckets (~1.6%) across the full uint64 nanosecond range while using
+/// a fixed ~30 KiB footprint.  This is the recording structure behind every
+/// latency number the benchmarks print (average, P50/P99/P99.9, min/max).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace uc {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 6;               // 64 minors per major
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kMajors = 64 - kSubBucketBits + 1;  // covers full uint64
+
+  LatencyHistogram();
+
+  /// Records one sample (nanoseconds).
+  void record(SimTime value_ns);
+
+  /// Records `count` identical samples.
+  void record_n(SimTime value_ns, std::uint64_t count);
+
+  /// Merges another histogram into this one.
+  void merge(const LatencyHistogram& other);
+
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  SimTime min() const { return count_ == 0 ? 0 : min_; }
+  SimTime max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  double stddev() const;
+
+  /// Value at percentile `p` in [0, 100]; linear interpolation inside the
+  /// containing bucket.  p=50 → median, p=99.9 → tail latency.
+  SimTime percentile(double p) const;
+
+  /// Compact one-line summary: "n=... avg=... p50=... p99=... p99.9=... max=...".
+  std::string summary() const;
+
+ private:
+  static int bucket_index(SimTime value);
+  static SimTime bucket_lower_bound(int index);
+  static SimTime bucket_width(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  double sum_sq_ = 0.0;
+  SimTime min_ = ~static_cast<SimTime>(0);
+  SimTime max_ = 0;
+};
+
+}  // namespace uc

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file lru_cache.h
+/// Generic LRU "ready cache": a bounded map from keys to the simulated time
+/// their data becomes available in DRAM.  Inserting at issue time with a
+/// future ready time lets demand accesses that race an in-flight fill wait
+/// for the transfer instead of re-fetching from media.  Used by the SSD's
+/// prefetch read cache and by the EBS storage-node page caches.
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace uc {
+
+template <typename Key>
+class LruReadyCache {
+ public:
+  explicit LruReadyCache(std::uint32_t capacity) : capacity_(capacity) {
+    UC_ASSERT(capacity > 0, "cache needs capacity");
+  }
+
+  /// Inserts/updates `key`, ready at `ready` (keeps the earlier ready time
+  /// if the key is already present).
+  void insert(const Key& key, SimTime ready) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      if (ready < it->second.ready) it->second.ready = ready;
+      touch(it);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      const Key& evict = lru_.back();
+      map_.erase(evict);
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Node{ready, lru_.begin()});
+  }
+
+  /// Ready time if cached (refreshes recency).
+  std::optional<SimTime> lookup(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    touch(it);
+    return it->second.ready;
+  }
+
+  /// Presence check without recency update.
+  bool contains(const Key& key) const { return map_.contains(key); }
+
+  /// Drops a stale entry (on overwrite/trim).
+  void invalidate(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+  }
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(map_.size()); }
+  std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  struct Node {
+    SimTime ready;
+    typename std::list<Key>::iterator lru_it;
+  };
+  using MapIt = typename std::unordered_map<Key, Node>::iterator;
+
+  void touch(MapIt it) {
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(it->first);
+    it->second.lru_it = lru_.begin();
+  }
+
+  std::uint32_t capacity_;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, Node> map_;
+};
+
+}  // namespace uc

@@ -1,0 +1,50 @@
+#include "common/rng.h"
+
+namespace uc {
+
+// Rejection-inversion sampling for the Zipf distribution, following
+// Hörmann & Derflinger, "Rejection-inversion to generate variates from
+// monotone discrete distributions" (1996).  Ranks are returned 0-based with
+// rank 0 the hottest.
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  UC_ASSERT(n >= 1, "zipf needs a non-empty domain");
+  UC_ASSERT(theta > 0.0 && theta <= 10.0, "zipf skew must be in (0, 10]");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfGenerator::h(double x) const { return std::exp(-theta_ * std::log(x)); }
+
+double ZipfGenerator::h_integral(double x) const {
+  const double log_x = std::log(x);
+  // Integral of x^-theta: handles theta == 1 via the log limit.
+  if (std::abs(1.0 - theta_) < 1e-9) return log_x;
+  return (std::exp((1.0 - theta_) * log_x) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfGenerator::h_integral_inverse(double x) const {
+  if (std::abs(1.0 - theta_) < 1e-9) return std::exp(x);
+  double t = x * (1.0 - theta_) + 1.0;
+  if (t < 0.0) t = 0.0;
+  return std::exp(std::log1p(t - 1.0) / (1.0 - theta_));
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.uniform() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace uc

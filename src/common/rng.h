@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation and the distributions the
+/// simulators draw from.
+///
+/// The standard library's `<random>` distributions are implementation-defined
+/// (different sequences across libstdc++ versions), which would break the
+/// bit-reproducibility the test suite asserts.  We therefore implement the
+/// generator (xoshiro256**, seeded via splitmix64) and every distribution
+/// in-library.
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace uc {
+
+/// xoshiro256** — fast, high-quality, 2^256-1 period.  One instance per
+/// component; component seeds are derived from the experiment seed so that
+/// adding a component never perturbs the streams of existing ones.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the four lanes.
+    std::uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  /// Derives an independent child stream (for per-component seeding).
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ull); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n) using Lemire's multiply-shift rejection.
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    UC_ASSERT(n > 0, "uniform_u64 range must be non-empty");
+    // Unbiased via rejection on the low product half.
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    UC_ASSERT(lo <= hi, "uniform_range requires lo <= hi");
+    return lo + uniform_u64(hi - lo + 1);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (inverse-CDF; deterministic).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log1p(-u);
+  }
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double normal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Lognormal multiplier with unit mean: exp(sigma*Z - sigma^2/2).
+  /// Scaling a latency by this keeps its average calibrated while adding a
+  /// right-skewed tail — exactly the jitter shape cloud RPC stacks show.
+  double lognormal_unit_mean(double sigma) {
+    if (sigma <= 0.0) return 1.0;
+    return std::exp(sigma * normal() - 0.5 * sigma * sigma);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Zipf-distributed integers over [0, n), hotter ranks first.
+///
+/// Uses rejection-inversion sampling (Hörmann & Derflinger), which is O(1)
+/// per draw and exact for any skew `theta` in (0, 10]; theta -> 0 degenerates
+/// to uniform.  Used by the synthetic cloud-trace generator to reconstruct
+/// the spatial skew of production block-storage workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t next(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_ = 1;
+  double theta_ = 0.99;
+  double h_integral_x1_ = 0.0;
+  double h_integral_n_ = 0.0;
+  double s_ = 0.0;
+};
+
+}  // namespace uc

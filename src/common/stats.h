@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file stats.h
+/// Small numeric-summary helpers (Welford running statistics) used by the
+/// contract evaluators, e.g. the budget-determinism check that computes the
+/// coefficient of variation of throughput across read/write mixes.
+
+#include <cmath>
+#include <cstdint>
+
+namespace uc {
+
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_); }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  /// Coefficient of variation (stddev / mean); 0 for degenerate input.
+  double cv() const { return mean_ == 0.0 ? 0.0 : stddev() / mean_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace uc

@@ -1,0 +1,78 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace uc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  UC_ASSERT(!header_.empty(), "table needs at least one column");
+  aligns_.assign(header_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  UC_ASSERT(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+void TextTable::set_align(std::size_t column, Align align) {
+  UC_ASSERT(column < aligns_.size(), "column out of range");
+  aligns_[column] = align;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_cell = [&](const std::string& text, std::size_t c) {
+    std::string cell;
+    const std::size_t pad = widths[c] - text.size();
+    if (aligns_[c] == Align::kRight) cell.append(pad, ' ');
+    cell += text;
+    if (aligns_[c] == Align::kLeft) cell.append(pad, ' ');
+    return cell;
+  };
+
+  auto render_rule = [&] {
+    std::string line = "+";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      line.append(widths[c] + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_rule();
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += " " + render_cell(header_[c], c) + " |";
+  }
+  out += "\n" + render_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += render_rule();
+      continue;
+    }
+    out += "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += " " + render_cell(row[c], c) + " |";
+    }
+    out += "\n";
+  }
+  out += render_rule();
+  return out;
+}
+
+}  // namespace uc

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file table.h
+/// ASCII table renderer used by the benchmark harness to print paper-style
+/// tables and heatmap grids on a terminal.
+
+#include <string>
+#include <vector>
+
+namespace uc {
+
+class TextTable {
+ public:
+  /// Column alignment; numbers read best right-aligned.
+  enum class Align { kLeft, kRight };
+
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_separator();
+
+  void set_align(std::size_t column, Align align);
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+  std::vector<Align> aligns_;
+};
+
+}  // namespace uc

@@ -1,0 +1,63 @@
+#include "common/timeline.h"
+
+#include "common/status.h"
+
+namespace uc {
+
+ThroughputTimeline::ThroughputTimeline(SimTime bin_ns) : bin_ns_(bin_ns) {
+  UC_ASSERT(bin_ns > 0, "timeline bin width must be positive");
+}
+
+void ThroughputTimeline::record(SimTime time, std::uint64_t bytes) {
+  const std::size_t bin = static_cast<std::size_t>(time / bin_ns_);
+  if (bin >= byte_bins_.size()) {
+    byte_bins_.resize(bin + 1, 0);
+    op_bins_.resize(bin + 1, 0);
+  }
+  byte_bins_[bin] += bytes;
+  op_bins_[bin] += 1;
+  total_bytes_ += bytes;
+  total_ops_ += 1;
+}
+
+std::vector<TimelinePoint> ThroughputTimeline::series() const {
+  std::vector<TimelinePoint> out;
+  out.reserve(byte_bins_.size());
+  const double bin_s = static_cast<double>(bin_ns_) / 1e9;
+  for (std::size_t i = 0; i < byte_bins_.size(); ++i) {
+    TimelinePoint p;
+    p.time_s = static_cast<double>(i) * bin_s;
+    p.bytes = byte_bins_[i];
+    p.gb_per_s = static_cast<double>(byte_bins_[i]) / 1e9 / bin_s;
+    p.kiops = static_cast<double>(op_bins_[i]) / 1e3 / bin_s;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<TimelinePoint> ThroughputTimeline::smoothed_series(int window) const {
+  UC_ASSERT(window > 0, "smoothing window must be positive");
+  const std::vector<TimelinePoint> raw = series();
+  std::vector<TimelinePoint> out;
+  out.reserve(raw.size());
+  double bytes_sum = 0.0;
+  double ops_sum = 0.0;
+  const double bin_s = static_cast<double>(bin_ns_) / 1e9;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    bytes_sum += static_cast<double>(raw[i].bytes);
+    ops_sum += raw[i].kiops * bin_s * 1e3;
+    if (i >= static_cast<std::size_t>(window)) {
+      bytes_sum -= static_cast<double>(raw[i - window].bytes);
+      ops_sum -= raw[i - window].kiops * bin_s * 1e3;
+    }
+    const double n = static_cast<double>(
+        i + 1 < static_cast<std::size_t>(window) ? i + 1 : window);
+    TimelinePoint p = raw[i];
+    p.gb_per_s = bytes_sum / 1e9 / (n * bin_s);
+    p.kiops = ops_sum / 1e3 / (n * bin_s);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace uc

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file timeline.h
+/// Binned throughput/IOPS time series, used to reproduce the paper's runtime
+/// throughput plots (Figure 3) and to drive the GC-cliff change-point
+/// detector in the contract checker.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace uc {
+
+/// One rendered point of a throughput series.
+struct TimelinePoint {
+  double time_s = 0.0;        ///< bin start, seconds
+  double gb_per_s = 0.0;      ///< decimal GB/s completed within the bin
+  double kiops = 0.0;         ///< thousands of I/Os completed within the bin
+  std::uint64_t bytes = 0;    ///< raw bytes completed within the bin
+};
+
+/// Accumulates completed-I/O bytes into fixed-width time bins.
+class ThroughputTimeline {
+ public:
+  /// `bin_ns` is the bin width; Figure 3 uses 1 s bins.
+  explicit ThroughputTimeline(SimTime bin_ns);
+
+  /// Records an I/O of `bytes` completing at `time`.
+  void record(SimTime time, std::uint64_t bytes);
+
+  /// Renders every bin up to the last recorded one (empty bins included, so
+  /// stalls are visible as zero-throughput points).
+  std::vector<TimelinePoint> series() const;
+
+  /// Same as series() but averaged over a sliding window of `window` bins,
+  /// which is how the paper's Figure 3 curve is smoothed.
+  std::vector<TimelinePoint> smoothed_series(int window) const;
+
+  SimTime bin_ns() const { return bin_ns_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_ops() const { return total_ops_; }
+
+ private:
+  SimTime bin_ns_;
+  std::vector<std::uint64_t> byte_bins_;
+  std::vector<std::uint64_t> op_bins_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_ops_ = 0;
+};
+
+}  // namespace uc

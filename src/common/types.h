@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file types.h
+/// Foundational scalar types shared by every module of the ucontract library.
+///
+/// Simulated time is a plain unsigned nanosecond counter.  All device,
+/// network, and workload models advance this clock through the discrete-event
+/// simulator (`uc::sim::Simulator`); nothing in the library reads wall-clock
+/// time, which keeps every experiment bit-reproducible.
+
+#include <cstdint>
+
+namespace uc {
+
+/// Simulated time in nanoseconds since the start of the simulation.
+using SimTime = std::uint64_t;
+
+/// Sentinel meaning "no time / not scheduled".
+inline constexpr SimTime kNoTime = ~static_cast<SimTime>(0);
+
+/// Logical block addresses are byte offsets within a device; the library
+/// enforces 4 KiB alignment (`kLogicalPageBytes`) at the device boundary.
+using ByteOffset = std::uint64_t;
+
+/// Logical page number: byte offset divided by `kLogicalPageBytes`.
+using Lpn = std::uint64_t;
+
+/// Smallest addressable unit of every device in the library (FIO's default
+/// block size and the paper's smallest experiment I/O size).
+inline constexpr std::uint32_t kLogicalPageBytes = 4096;
+
+/// Monotonically increasing identifier assigned to every submitted I/O.
+using IoId = std::uint64_t;
+
+/// Write stamp used for end-to-end integrity checking: each logical write is
+/// tagged with a unique stamp, and the stamp is carried through FTL mappings,
+/// flash page metadata, and cluster live indexes.  Tests assert that a read
+/// always resolves to the most recent stamp.
+using WriteStamp = std::uint64_t;
+
+}  // namespace uc

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file checker.h
+/// The contract checker: runs the full characterization suite against a
+/// target device and the local-SSD reference, evaluates the paper's four
+/// observations, and emits the unwritten contract — per-observation
+/// verdicts with evidence plus the five implications as quantified,
+/// device-specific advice.
+///
+/// This is the library's primary public entry point: point it at any
+/// `BlockDevice` implementation (a provider profile, a prototype, a
+/// different simulator) and it answers "does this device behave like a
+/// cloud ESSD, and how should software on it be written?".
+
+#include <string>
+#include <vector>
+
+#include "contract/observations.h"
+#include "contract/suite.h"
+
+namespace uc::contract {
+
+struct ObservationVerdict {
+  int number = 0;
+  std::string title;
+  bool holds = false;
+  std::string evidence;
+};
+
+struct ImplicationAdvice {
+  int number = 0;
+  std::string title;
+  std::string advice;
+};
+
+/// The full evaluated contract, including the raw study data so callers
+/// can render any of the paper's figures from one run.
+struct UnwrittenContract {
+  std::string target_name;
+  std::string reference_name;
+
+  std::vector<ObservationVerdict> observations;
+  std::vector<ImplicationAdvice> implications;
+
+  LatencyStudy target_latency;
+  LatencyStudy reference_latency;
+  GcRunResult target_gc;
+  GcRunResult reference_gc;
+  PatternGainMatrix target_gain;
+  PatternGainMatrix reference_gain;
+  BudgetScan target_budget;
+  BudgetScan reference_budget;
+
+  Obs1Result obs1;
+  Obs2Result obs2;
+  Obs3Result obs3;
+  Obs4Result obs4;
+
+  /// True when all four observations hold: the device behaves like a
+  /// cloud ESSD rather than a local SSD.
+  bool behaves_like_essd() const;
+};
+
+struct CheckerOptions {
+  /// Quick mode shrinks the grids and volumes so a full check completes in
+  /// seconds of wall time (used by tests and the quickstart example); full
+  /// mode matches the paper's grids.
+  bool quick = true;
+  /// GC run length in multiples of device capacity (the paper uses 3.0).
+  double gc_capacity_multiples = 3.0;
+  std::uint64_t seed = 7;
+};
+
+class ContractChecker {
+ public:
+  explicit ContractChecker(const CheckerOptions& options)
+      : options_(options) {}
+
+  /// `target_guaranteed_gbs`: the provider's published bandwidth budget
+  /// (zero when unpublished).
+  UnwrittenContract check(const DeviceFactory& target,
+                          const std::string& target_name,
+                          const DeviceFactory& reference,
+                          const std::string& reference_name,
+                          double target_guaranteed_gbs) const;
+
+  const CheckerOptions& options() const { return options_; }
+
+ private:
+  SuiteConfig suite_config() const;
+
+  CheckerOptions options_;
+};
+
+}  // namespace uc::contract

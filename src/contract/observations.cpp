@@ -1,0 +1,150 @@
+#include "contract/observations.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace uc::contract {
+
+namespace {
+
+double safe_ratio(double a, double b) { return b <= 0.0 ? 0.0 : a / b; }
+
+}  // namespace
+
+Obs1Result evaluate_obs1(const LatencyStudy& target,
+                         const LatencyStudy& reference) {
+  Obs1Result r;
+  double small_gap_sum = 0.0;
+  double large_gap_sum = 0.0;
+  for (int k = 0; k < kWorkloadKinds; ++k) {
+    const LatencyMatrix& t = target.matrices[static_cast<std::size_t>(k)];
+    const LatencyMatrix& ref = reference.matrices[static_cast<std::size_t>(k)];
+    UC_ASSERT(t.sizes == ref.sizes && t.queue_depths == ref.queue_depths,
+              "target/reference grids must match");
+    double kind_max = 0.0;
+    for (std::size_t q = 0; q < t.queue_depths.size(); ++q) {
+      for (std::size_t s = 0; s < t.sizes.size(); ++s) {
+        const double gap = safe_ratio(t.cell(q, s).avg_ns, ref.cell(q, s).avg_ns);
+        const double tail_gap =
+            safe_ratio(t.cell(q, s).p999_ns, ref.cell(q, s).p999_ns);
+        r.max_avg_gap = std::max(r.max_avg_gap, gap);
+        r.max_p999_gap = std::max(r.max_p999_gap, tail_gap);
+        kind_max = std::max(kind_max, gap);
+      }
+    }
+    if (static_cast<WorkloadKind>(k) == WorkloadKind::kRandomRead) {
+      r.random_read_max_gap = kind_max;
+    } else {
+      r.other_max_gap = std::max(r.other_max_gap, kind_max);
+    }
+    const std::size_t last_q = t.queue_depths.size() - 1;
+    const std::size_t last_s = t.sizes.size() - 1;
+    small_gap_sum += safe_ratio(t.cell(0, 0).avg_ns, ref.cell(0, 0).avg_ns);
+    large_gap_sum +=
+        safe_ratio(t.cell(last_q, last_s).avg_ns, ref.cell(last_q, last_s).avg_ns);
+  }
+  r.gap_at_smallest = small_gap_sum / kWorkloadKinds;
+  r.gap_at_largest = large_gap_sum / kWorkloadKinds;
+  r.gap_shrinks_with_scale = r.gap_at_largest < 0.5 * r.gap_at_smallest;
+  r.random_read_gap_smallest = r.random_read_max_gap < r.other_max_gap;
+  r.holds = r.max_avg_gap >= 10.0 && r.gap_shrinks_with_scale &&
+            r.random_read_gap_smallest;
+  return r;
+}
+
+GcCliff detect_gc_cliff(const GcRunResult& run, double drop_fraction) {
+  GcCliff cliff;
+  const auto& tl = run.timeline;
+  if (tl.size() < 10) return cliff;
+
+  // Plateau: median of the first 10 non-warmup bins.
+  std::vector<double> head;
+  for (std::size_t i = 1; i < tl.size() && head.size() < 10; ++i) {
+    head.push_back(tl[i].gb_per_s);
+  }
+  std::nth_element(head.begin(), head.begin() + static_cast<long>(head.size() / 2),
+                   head.end());
+  cliff.plateau_gbs = head[head.size() / 2];
+  cliff.final_gbs = tl.back().gb_per_s;
+  if (cliff.plateau_gbs <= 0.0) return cliff;
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    cumulative += tl[i].bytes;
+    if (i < 5) continue;  // skip the smoothing warmup
+    if (tl[i].gb_per_s < drop_fraction * cliff.plateau_gbs) {
+      cliff.found = true;
+      cliff.at_time_s = tl[i].time_s;
+      cliff.at_capacity_multiple =
+          static_cast<double>(cumulative) /
+          static_cast<double>(run.device_capacity_bytes);
+      // Post-cliff throughput: median of the remaining bins.
+      std::vector<double> rest;
+      for (std::size_t j = i; j < tl.size(); ++j) rest.push_back(tl[j].gb_per_s);
+      std::nth_element(rest.begin(),
+                       rest.begin() + static_cast<long>(rest.size() / 2),
+                       rest.end());
+      cliff.post_gbs = rest[rest.size() / 2];
+      return cliff;
+    }
+  }
+  return cliff;
+}
+
+Obs2Result evaluate_obs2(const GcRunResult& target,
+                         const GcRunResult& reference) {
+  Obs2Result r;
+  r.target_cliff = detect_gc_cliff(target);
+  r.reference_cliff = detect_gc_cliff(reference);
+  if (!r.reference_cliff.found) {
+    // Without a reference cliff there is nothing to appear "later" than.
+    r.holds = !r.target_cliff.found;
+    return r;
+  }
+  r.holds = !r.target_cliff.found ||
+            r.target_cliff.at_capacity_multiple >
+                1.5 * r.reference_cliff.at_capacity_multiple;
+  return r;
+}
+
+Obs3Result evaluate_obs3(const PatternGainMatrix& target,
+                         const PatternGainMatrix& reference) {
+  Obs3Result r;
+  r.target_max_gain = target.max_gain();
+  r.reference_max_gain = reference.max_gain();
+  for (std::size_t q = 0; q < target.queue_depths.size(); ++q) {
+    for (std::size_t s = 0; s < target.sizes.size(); ++s) {
+      if (target.gain(q, s) == r.target_max_gain) {
+        r.best_qd = target.queue_depths[q];
+        r.best_size = target.sizes[s];
+      }
+    }
+  }
+  r.holds = r.target_max_gain >= 1.2 && r.reference_max_gain < 1.2;
+  return r;
+}
+
+Obs4Result evaluate_obs4(const BudgetScan& target, const BudgetScan& reference,
+                         double guaranteed_gbs) {
+  Obs4Result r;
+  r.guaranteed_gbs = guaranteed_gbs;
+  RunningStat t_stat;
+  for (const double g : target.total_gbs) t_stat.add(g);
+  RunningStat ref_stat;
+  for (const double g : reference.total_gbs) ref_stat.add(g);
+  r.target_cv = t_stat.cv();
+  r.reference_cv = ref_stat.cv();
+  r.target_mean_gbs = t_stat.mean();
+  r.reference_min_gbs = ref_stat.min();
+  r.reference_max_gbs = ref_stat.max();
+  r.pinned_to_budget =
+      guaranteed_gbs > 0.0 &&
+      std::abs(r.target_mean_gbs - guaranteed_gbs) / guaranteed_gbs < 0.15;
+  r.holds = r.target_cv < 0.08 && r.reference_cv > 2.0 * r.target_cv &&
+            (guaranteed_gbs <= 0.0 || r.pinned_to_budget);
+  return r;
+}
+
+}  // namespace uc::contract

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file observations.h
+/// Programmatic evaluators for the paper's four observations.  Each takes
+/// the suite's raw measurements for a target device and the local-SSD
+/// reference and produces a quantified verdict — the machine-checkable form
+/// of the unwritten contract.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "contract/suite.h"
+
+namespace uc::contract {
+
+/// Observation 1: "The latency of ESSDs is tens to a hundred times higher
+/// than that of SSD when I/Os are not well scaled up."
+struct Obs1Result {
+  double max_avg_gap = 0.0;        ///< worst average-latency multiple
+  double max_p999_gap = 0.0;       ///< worst P99.9 multiple
+  double gap_at_smallest = 0.0;    ///< avg gap at the smallest size, QD1
+  double gap_at_largest = 0.0;     ///< avg gap at the largest size, max QD
+  double random_read_max_gap = 0.0;
+  double other_max_gap = 0.0;      ///< worst avg gap outside random read
+  bool gap_shrinks_with_scale = false;
+  bool random_read_gap_smallest = false;
+  bool holds = false;
+};
+Obs1Result evaluate_obs1(const LatencyStudy& target,
+                         const LatencyStudy& reference);
+
+/// Observation 2: "The performance impact of GC appears much later or even
+/// disappears."
+struct GcCliff {
+  bool found = false;
+  double at_capacity_multiple = 0.0;  ///< cumulative writes / capacity
+  double at_time_s = 0.0;
+  double plateau_gbs = 0.0;  ///< pre-cliff throughput
+  double post_gbs = 0.0;     ///< median throughput after the cliff
+  double final_gbs = 0.0;
+};
+/// Change-point detection on a smoothed throughput timeline: the first bin
+/// where throughput falls below `drop_fraction` of the initial plateau.
+GcCliff detect_gc_cliff(const GcRunResult& run, double drop_fraction = 0.6);
+
+struct Obs2Result {
+  GcCliff target_cliff;
+  GcCliff reference_cliff;
+  bool holds = false;  ///< target cliff strictly later (or absent)
+};
+Obs2Result evaluate_obs2(const GcRunResult& target,
+                         const GcRunResult& reference);
+
+/// Observation 3: "The throughput of random writes outperforms that of
+/// sequential writes."
+struct Obs3Result {
+  double target_max_gain = 0.0;
+  double reference_max_gain = 0.0;
+  std::uint32_t best_size = 0;
+  int best_qd = 0;
+  bool holds = false;  ///< target gains substantially, reference does not
+};
+Obs3Result evaluate_obs3(const PatternGainMatrix& target,
+                         const PatternGainMatrix& reference);
+
+/// Observation 4: "The maximum bandwidth is deterministic and no longer
+/// sensitive to the access pattern."
+struct Obs4Result {
+  double target_cv = 0.0;     ///< coefficient of variation across mixes
+  double reference_cv = 0.0;
+  double target_mean_gbs = 0.0;
+  double reference_min_gbs = 0.0;
+  double reference_max_gbs = 0.0;
+  double guaranteed_gbs = 0.0;  ///< 0 when the device publishes none
+  bool pinned_to_budget = false;
+  bool holds = false;
+};
+Obs4Result evaluate_obs4(const BudgetScan& target, const BudgetScan& reference,
+                         double guaranteed_gbs);
+
+}  // namespace uc::contract

@@ -1,0 +1,184 @@
+#include "contract/report.h"
+
+#include <algorithm>
+
+#include "common/strfmt.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace uc::contract {
+
+namespace {
+
+std::string latency_short(double ns) {
+  if (ns < 1e6) return strfmt("%.0fu", ns / 1e3);
+  if (ns < 1e9) return strfmt("%.1fm", ns / 1e6);
+  return strfmt("%.1fs", ns / 1e9);
+}
+
+double cell_value(const LatencyCell& c, bool use_p999) {
+  return use_p999 ? c.p999_ns : c.avg_ns;
+}
+
+}  // namespace
+
+std::string render_latency_matrix(const LatencyMatrix& target,
+                                  const LatencyMatrix& reference,
+                                  bool use_p999) {
+  std::vector<std::string> header = {strfmt(
+      "%s %s", workload_kind_name(target.kind), use_p999 ? "p99.9" : "avg")};
+  for (const auto size : target.sizes) {
+    header.push_back(strfmt("%uKiB", size / 1024));
+  }
+  TextTable table(header);
+  for (std::size_t q = 0; q < target.queue_depths.size(); ++q) {
+    std::vector<std::string> row = {strfmt("QD %d", target.queue_depths[q])};
+    for (std::size_t s = 0; s < target.sizes.size(); ++s) {
+      const double t = cell_value(target.cell(q, s), use_p999);
+      const double ref = cell_value(reference.cell(q, s), use_p999);
+      row.push_back(strfmt("%.1fx (%s)", ref <= 0.0 ? 0.0 : t / ref,
+                           latency_short(t).c_str()));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+std::string render_latency_matrix_absolute(const LatencyMatrix& matrix,
+                                           bool use_p999) {
+  std::vector<std::string> header = {strfmt(
+      "%s %s", workload_kind_name(matrix.kind), use_p999 ? "p99.9" : "avg")};
+  for (const auto size : matrix.sizes) {
+    header.push_back(strfmt("%uKiB", size / 1024));
+  }
+  TextTable table(header);
+  for (std::size_t q = 0; q < matrix.queue_depths.size(); ++q) {
+    std::vector<std::string> row = {strfmt("QD %d", matrix.queue_depths[q])};
+    for (std::size_t s = 0; s < matrix.sizes.size(); ++s) {
+      row.push_back(
+          latency_short(cell_value(matrix.cell(q, s), use_p999)));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+std::string render_gc_timeline(const std::string& name, const GcRunResult& run,
+                               int max_rows) {
+  const GcCliff cliff = detect_gc_cliff(run);
+  std::string out = strfmt(
+      "%s: wrote %.2fx capacity (%s) in %.0f s; %s\n", name.c_str(),
+      static_cast<double>(run.total_written_bytes) /
+          static_cast<double>(run.device_capacity_bytes),
+      format_bytes(run.total_written_bytes).c_str(),
+      static_cast<double>(run.wall_time) / 1e9,
+      cliff.found
+          ? strfmt("CLIFF at %.2fx capacity / %.0f s: %.2f -> %.2f GB/s "
+                   "(final %.2f)",
+                   cliff.at_capacity_multiple, cliff.at_time_s,
+                   cliff.plateau_gbs, cliff.post_gbs, cliff.final_gbs)
+                .c_str()
+          : strfmt("no cliff: steady %.2f GB/s (final %.2f)",
+                   cliff.plateau_gbs, cliff.final_gbs)
+                .c_str());
+
+  // Downsample the series to at most max_rows rows.
+  TextTable table({"time (s)", "written (xcap)", "GB/s", "bar"});
+  const auto& tl = run.timeline;
+  const std::size_t stride =
+      std::max<std::size_t>(1, tl.size() / static_cast<std::size_t>(max_rows));
+  double peak = 0.0;
+  for (const auto& p : tl) peak = std::max(peak, p.gb_per_s);
+  std::uint64_t cumulative = 0;
+  std::size_t emitted_at = 0;
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    cumulative += tl[i].bytes;
+    if (i % stride != 0 && i + 1 != tl.size()) continue;
+    (void)emitted_at;
+    const int bar_len =
+        peak <= 0.0 ? 0 : static_cast<int>(tl[i].gb_per_s / peak * 40.0);
+    table.add_row({strfmt("%.0f", tl[i].time_s),
+                   strfmt("%.2f", static_cast<double>(cumulative) /
+                                      static_cast<double>(
+                                          run.device_capacity_bytes)),
+                   strfmt("%.2f", tl[i].gb_per_s),
+                   std::string(static_cast<std::size_t>(bar_len), '#')});
+  }
+  return out + table.to_string();
+}
+
+std::string render_gain_matrix(const std::string& name,
+                               const PatternGainMatrix& matrix) {
+  std::string out = strfmt("%s: random/sequential write throughput gain "
+                           "(max %.2fx)\n",
+                           name.c_str(), matrix.max_gain());
+  std::vector<std::string> header = {"QD \\ size"};
+  for (const auto size : matrix.sizes) {
+    header.push_back(strfmt("%uKiB", size / 1024));
+  }
+  TextTable table(header);
+  for (std::size_t q = 0; q < matrix.queue_depths.size(); ++q) {
+    std::vector<std::string> row = {strfmt("QD %d", matrix.queue_depths[q])};
+    for (std::size_t s = 0; s < matrix.sizes.size(); ++s) {
+      row.push_back(strfmt(
+          "%.2f/%.2f=%.2fx", matrix.random_gbs[q * matrix.sizes.size() + s],
+          matrix.sequential_gbs[q * matrix.sizes.size() + s],
+          matrix.gain(q, s)));
+    }
+    table.add_row(std::move(row));
+  }
+  return out + table.to_string();
+}
+
+std::string render_budget_scan(const std::string& name,
+                               const BudgetScan& scan) {
+  std::string out = strfmt("%s: throughput vs write ratio\n", name.c_str());
+  TextTable table({"write %", "total GB/s", "write GB/s"});
+  for (std::size_t i = 0; i < scan.write_ratios_pct.size(); ++i) {
+    table.add_row({strfmt("%d", scan.write_ratios_pct[i]),
+                   strfmt("%.2f", scan.total_gbs[i]),
+                   strfmt("%.2f", scan.write_gbs[i])});
+  }
+  return out + table.to_string();
+}
+
+std::string render_contract(const UnwrittenContract& contract) {
+  std::string out;
+  out += "=======================================================\n";
+  out += strfmt(" The Unwritten Contract of %s\n", contract.target_name.c_str());
+  out += strfmt(" (reference local SSD: %s)\n", contract.reference_name.c_str());
+  out += "=======================================================\n\n";
+  out += strfmt("Verdict: device %s like a cloud ESSD\n\n",
+                contract.behaves_like_essd() ? "BEHAVES" : "does NOT behave");
+
+  out += "Observations\n------------\n";
+  for (const auto& obs : contract.observations) {
+    out += strfmt("  [%s] Obs %d: %s\n", obs.holds ? "HOLDS " : "ABSENT",
+                  obs.number, obs.title.c_str());
+    out += strfmt("          %s\n", obs.evidence.c_str());
+  }
+  out += "\nImplications for cloud storage users\n";
+  out += "------------------------------------\n";
+  for (const auto& impl : contract.implications) {
+    out += strfmt("  Impl %d: %s\n", impl.number, impl.title.c_str());
+    out += strfmt("          %s\n", impl.advice.c_str());
+  }
+
+  out += "\nEvidence: latency gap (average, vs reference)\n";
+  for (const auto& m : contract.target_latency.matrices) {
+    const auto& ref = contract.reference_latency.matrices[static_cast<int>(m.kind)];
+    out += render_latency_matrix(m, ref, /*use_p999=*/false);
+  }
+  out += "\nEvidence: GC timeline\n";
+  out += render_gc_timeline(contract.target_name, contract.target_gc, 15);
+  out += render_gc_timeline(contract.reference_name, contract.reference_gc, 15);
+  out += "\nEvidence: access-pattern gain\n";
+  out += render_gain_matrix(contract.target_name, contract.target_gain);
+  out += render_gain_matrix(contract.reference_name, contract.reference_gain);
+  out += "\nEvidence: throughput budget\n";
+  out += render_budget_scan(contract.target_name, contract.target_budget);
+  out += render_budget_scan(contract.reference_name, contract.reference_budget);
+  return out;
+}
+
+}  // namespace uc::contract

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file report.h
+/// Text renderers for suite results and the evaluated contract: the
+/// benchmark harness prints these to regenerate the paper's tables and
+/// figures on a terminal.
+
+#include <string>
+
+#include "contract/checker.h"
+#include "contract/suite.h"
+
+namespace uc::contract {
+
+/// Figure 2-style grid: one cell per (QD, size) showing the gap multiple
+/// over the reference and the absolute latency, e.g. "31.9x (333u)".
+/// `use_p999` selects tail instead of average latency.
+std::string render_latency_matrix(const LatencyMatrix& target,
+                                  const LatencyMatrix& reference,
+                                  bool use_p999);
+
+/// Absolute-latency grid for a single device (no reference).
+std::string render_latency_matrix_absolute(const LatencyMatrix& matrix,
+                                           bool use_p999);
+
+/// Figure 3-style series: time, cumulative capacity multiple, throughput,
+/// with detected cliff markers.
+std::string render_gc_timeline(const std::string& name, const GcRunResult& run,
+                               int max_rows = 40);
+
+/// Figure 4-style table: random/sequential throughput and gain per cell.
+std::string render_gain_matrix(const std::string& name,
+                               const PatternGainMatrix& matrix);
+
+/// Figure 5-style table: total/write throughput per write ratio.
+std::string render_budget_scan(const std::string& name, const BudgetScan& scan);
+
+/// The complete unwritten-contract report (observations + implications +
+/// key evidence tables).
+std::string render_contract(const UnwrittenContract& contract);
+
+}  // namespace uc::contract

@@ -1,0 +1,232 @@
+#include "contract/suite.h"
+
+#include <algorithm>
+
+namespace uc::contract {
+
+const char* workload_kind_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kRandomWrite:
+      return "random write";
+    case WorkloadKind::kSequentialWrite:
+      return "sequential write";
+    case WorkloadKind::kRandomRead:
+      return "random read";
+    case WorkloadKind::kSequentialRead:
+      return "sequential read";
+  }
+  return "unknown";
+}
+
+bool workload_kind_is_write(WorkloadKind kind) {
+  return kind == WorkloadKind::kRandomWrite ||
+         kind == WorkloadKind::kSequentialWrite;
+}
+
+wl::AccessPattern workload_kind_pattern(WorkloadKind kind) {
+  return (kind == WorkloadKind::kRandomWrite ||
+          kind == WorkloadKind::kRandomRead)
+             ? wl::AccessPattern::kRandom
+             : wl::AccessPattern::kSequential;
+}
+
+double PatternGainMatrix::max_gain() const {
+  double best = 0.0;
+  for (std::size_t q = 0; q < queue_depths.size(); ++q) {
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      best = std::max(best, gain(q, s));
+    }
+  }
+  return best;
+}
+
+void CharacterizationSuite::precondition(sim::Simulator& sim,
+                                         BlockDevice& device,
+                                         std::uint64_t region_bytes,
+                                         SimTime settle_time,
+                                         std::uint64_t seed) {
+  wl::JobSpec fill;
+  fill.name = "precondition";
+  fill.pattern = wl::AccessPattern::kSequential;
+  fill.io_bytes = 1 << 20;
+  fill.queue_depth = 16;
+  fill.write_ratio = 1.0;
+  fill.region_bytes = region_bytes;
+  fill.total_bytes = region_bytes;
+  fill.seed = seed;
+  wl::JobRunner::run_to_completion(sim, device, fill);
+
+  bool flushed = false;
+  device.submit(IoRequest{~0ull, IoOp::kFlush, 0, 0},
+                [&](const IoResult&) { flushed = true; });
+  sim.run();
+  UC_ASSERT(flushed, "flush barrier did not complete");
+  sim.run_until(sim.now() + settle_time);
+}
+
+LatencyMatrix CharacterizationSuite::run_latency_matrix(
+    const DeviceFactory& factory, WorkloadKind kind) const {
+  LatencyMatrix matrix;
+  matrix.kind = kind;
+  matrix.sizes = cfg_.sizes;
+  matrix.queue_depths = cfg_.queue_depths;
+
+  // One fresh device per workload kind: write cells accumulate garbage and
+  // read cells need preconditioning, but cells within a kind share state
+  // exactly like consecutive FIO runs against one volume.
+  sim::Simulator sim;
+  auto device = factory(sim);
+  const std::uint64_t region = std::min<std::uint64_t>(
+      cfg_.region_bytes, device->info().capacity_bytes);
+  if (!workload_kind_is_write(kind)) {
+    precondition(sim, *device, region, cfg_.settle_time, cfg_.seed);
+  }
+
+  std::uint64_t cell_seed = cfg_.seed;
+  for (const int qd : cfg_.queue_depths) {
+    for (const std::uint32_t size : cfg_.sizes) {
+      wl::JobSpec spec;
+      spec.name = "latency-cell";
+      spec.pattern = workload_kind_pattern(kind);
+      spec.io_bytes = size;
+      spec.queue_depth = qd;
+      spec.write_ratio = workload_kind_is_write(kind) ? 1.0 : 0.0;
+      spec.region_bytes = region;
+      spec.total_ops = cfg_.ops_per_cell;
+      spec.seed = ++cell_seed;
+      const wl::JobStats stats =
+          wl::JobRunner::run_to_completion(sim, *device, spec);
+
+      LatencyCell cell;
+      cell.io_bytes = size;
+      cell.queue_depth = qd;
+      cell.avg_ns = stats.all_latency.mean();
+      cell.p99_ns = static_cast<double>(stats.all_latency.percentile(99));
+      cell.p999_ns = static_cast<double>(stats.all_latency.percentile(99.9));
+      cell.iops = stats.iops();
+      cell.gb_per_s = stats.throughput_gbs();
+      matrix.cells.push_back(cell);
+
+      sim.run_until(sim.now() + cfg_.settle_time);
+    }
+  }
+  return matrix;
+}
+
+LatencyStudy CharacterizationSuite::run_latency_study(
+    const DeviceFactory& factory) const {
+  LatencyStudy study;
+  for (int k = 0; k < kWorkloadKinds; ++k) {
+    study.matrices.push_back(
+        run_latency_matrix(factory, static_cast<WorkloadKind>(k)));
+  }
+  return study;
+}
+
+GcRunResult CharacterizationSuite::run_gc_timeline(
+    const DeviceFactory& factory, double capacity_multiples,
+    std::uint32_t io_bytes, int queue_depth) const {
+  sim::Simulator sim;
+  auto device = factory(sim);
+  const std::uint64_t capacity = device->info().capacity_bytes;
+
+  wl::JobSpec spec;
+  spec.name = "gc-timeline";
+  spec.pattern = wl::AccessPattern::kRandom;
+  spec.io_bytes = io_bytes;
+  spec.queue_depth = queue_depth;
+  spec.write_ratio = 1.0;
+  spec.total_bytes = static_cast<std::uint64_t>(
+      capacity_multiples * static_cast<double>(capacity));
+  spec.seed = cfg_.seed;
+  // Fine-grained bins keep the cliff detector usable at bench scale, where
+  // the whole 3x-capacity run spans tens of simulated seconds rather than
+  // the paper's hours.
+  spec.timeline_bin = units::kSec / 4;
+  const wl::JobStats stats =
+      wl::JobRunner::run_to_completion(sim, *device, spec);
+
+  GcRunResult result;
+  result.timeline = stats.timeline.smoothed_series(8);
+  result.device_capacity_bytes = capacity;
+  result.total_written_bytes = stats.write_bytes;
+  result.wall_time = stats.last_complete - stats.first_submit;
+  return result;
+}
+
+PatternGainMatrix CharacterizationSuite::run_pattern_gain(
+    const DeviceFactory& factory, std::vector<std::uint32_t> sizes,
+    std::vector<int> queue_depths, SimTime cell_duration) const {
+  PatternGainMatrix matrix;
+  matrix.sizes = std::move(sizes);
+  matrix.queue_depths = std::move(queue_depths);
+
+  std::uint64_t cell_seed = cfg_.seed ^ 0xf164ull;
+  for (const bool random : {true, false}) {
+    for (const int qd : matrix.queue_depths) {
+      for (const std::uint32_t size : matrix.sizes) {
+        // Fresh device per cell: pattern comparison must not inherit the
+        // other pattern's garbage.
+        sim::Simulator sim;
+        auto device = factory(sim);
+        wl::JobSpec spec;
+        spec.name = "pattern-cell";
+        spec.pattern = random ? wl::AccessPattern::kRandom
+                              : wl::AccessPattern::kSequential;
+        spec.io_bytes = size;
+        spec.queue_depth = qd;
+        spec.write_ratio = 1.0;
+        spec.region_bytes = std::min<std::uint64_t>(
+            cfg_.region_bytes, device->info().capacity_bytes);
+        spec.duration = cell_duration;
+        spec.seed = ++cell_seed;
+        const wl::JobStats stats =
+            wl::JobRunner::run_to_completion(sim, *device, spec);
+        (random ? matrix.random_gbs : matrix.sequential_gbs)
+            .push_back(stats.throughput_gbs());
+      }
+    }
+  }
+  return matrix;
+}
+
+BudgetScan CharacterizationSuite::run_budget_scan(const DeviceFactory& factory,
+                                                  std::uint32_t io_bytes,
+                                                  int queue_depth,
+                                                  int ratio_step,
+                                                  SimTime cell_duration) const {
+  BudgetScan scan;
+  std::uint64_t cell_seed = cfg_.seed ^ 0xf165ull;
+  for (int ratio = 0; ratio <= 100; ratio += ratio_step) {
+    sim::Simulator sim;
+    auto device = factory(sim);
+    const std::uint64_t region = std::min<std::uint64_t>(
+        cfg_.region_bytes, device->info().capacity_bytes);
+    if (ratio < 100) {
+      // Mixed and read-only cells read preconditioned data.
+      precondition(sim, *device, region, cfg_.settle_time, cfg_.seed);
+    }
+    wl::JobSpec spec;
+    spec.name = "budget-cell";
+    spec.pattern = wl::AccessPattern::kRandom;
+    spec.io_bytes = io_bytes;
+    spec.queue_depth = queue_depth;
+    spec.write_ratio = static_cast<double>(ratio) / 100.0;
+    spec.region_bytes = region;
+    spec.duration = cell_duration;
+    spec.seed = ++cell_seed;
+    const wl::JobStats stats =
+        wl::JobRunner::run_to_completion(sim, *device, spec);
+
+    scan.write_ratios_pct.push_back(ratio);
+    scan.total_gbs.push_back(stats.throughput_gbs());
+    const SimTime span = stats.last_complete - stats.first_submit;
+    scan.write_gbs.push_back(
+        span == 0 ? 0.0
+                  : static_cast<double>(stats.write_bytes) /
+                        static_cast<double>(span));
+  }
+  return scan;
+}
+
+}  // namespace uc::contract

@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file suite.h
+/// The characterization suite: runs the paper's four experiment families
+/// against any block device, producing the raw data behind Figures 2-5.
+///
+/// Experiments run each cell on a *fresh* simulator + device (via a
+/// `DeviceFactory`) with idle settle gaps, mirroring the paper's per-cell
+/// FIO runs and keeping QoS burst credits and GC state comparable across
+/// cells.  Read workloads precondition their target region first so reads
+/// hit real data rather than unwritten zero pages.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/block_device.h"
+#include "common/status.h"
+#include "common/timeline.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "workload/runner.h"
+
+namespace uc::contract {
+
+using DeviceFactory =
+    std::function<std::unique_ptr<BlockDevice>(sim::Simulator&)>;
+
+/// The four workload kinds of Figure 2, in the paper's column order.
+enum class WorkloadKind {
+  kRandomWrite = 0,
+  kSequentialWrite,
+  kRandomRead,
+  kSequentialRead,
+};
+inline constexpr int kWorkloadKinds = 4;
+const char* workload_kind_name(WorkloadKind kind);
+bool workload_kind_is_write(WorkloadKind kind);
+wl::AccessPattern workload_kind_pattern(WorkloadKind kind);
+
+struct SuiteConfig {
+  std::vector<std::uint32_t> sizes = {4096, 16384, 65536, 262144};
+  std::vector<int> queue_depths = {1, 2, 4, 8, 16};
+  std::uint64_t ops_per_cell = 3000;
+  std::uint64_t region_bytes = 4ull << 30;
+  SimTime settle_time = 20 * units::kSec;  ///< idle gap between cells
+  std::uint64_t seed = 7;
+};
+
+/// One measured latency cell of the Figure 2 grid.
+struct LatencyCell {
+  std::uint32_t io_bytes = 0;
+  int queue_depth = 0;
+  double avg_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  double iops = 0.0;
+  double gb_per_s = 0.0;
+};
+
+/// Size x queue-depth latency grid for one workload kind.
+struct LatencyMatrix {
+  WorkloadKind kind = WorkloadKind::kRandomWrite;
+  std::vector<std::uint32_t> sizes;
+  std::vector<int> queue_depths;
+  std::vector<LatencyCell> cells;  ///< row-major: [qd][size]
+
+  const LatencyCell& cell(std::size_t qd_idx, std::size_t size_idx) const {
+    return cells[qd_idx * sizes.size() + size_idx];
+  }
+};
+
+/// All four workload kinds (the full Figure 2 panel for one device).
+struct LatencyStudy {
+  std::vector<LatencyMatrix> matrices;  ///< indexed by WorkloadKind
+  const LatencyMatrix& of(WorkloadKind k) const {
+    return matrices[static_cast<int>(k)];
+  }
+};
+
+/// Figure 3: runtime throughput under sustained random write.
+struct GcRunResult {
+  std::vector<TimelinePoint> timeline;  ///< smoothed, 1 s bins
+  std::uint64_t device_capacity_bytes = 0;
+  std::uint64_t total_written_bytes = 0;
+  SimTime wall_time = 0;
+};
+
+/// Figure 4: random vs sequential write throughput across sizes and QDs.
+struct PatternGainMatrix {
+  std::vector<std::uint32_t> sizes;
+  std::vector<int> queue_depths;
+  std::vector<double> random_gbs;      ///< [qd][size]
+  std::vector<double> sequential_gbs;  ///< [qd][size]
+
+  double gain(std::size_t qd_idx, std::size_t size_idx) const {
+    const double seq = sequential_gbs[qd_idx * sizes.size() + size_idx];
+    return seq <= 0.0 ? 0.0
+                      : random_gbs[qd_idx * sizes.size() + size_idx] / seq;
+  }
+  double max_gain() const;
+};
+
+/// Figure 5: throughput across read/write mixes.
+struct BudgetScan {
+  std::vector<int> write_ratios_pct;  ///< 0..100
+  std::vector<double> total_gbs;
+  std::vector<double> write_gbs;
+};
+
+class CharacterizationSuite {
+ public:
+  explicit CharacterizationSuite(const SuiteConfig& cfg) : cfg_(cfg) {}
+
+  /// Figure 2 data for one workload kind.
+  LatencyMatrix run_latency_matrix(const DeviceFactory& factory,
+                                   WorkloadKind kind) const;
+
+  /// All four kinds.
+  LatencyStudy run_latency_study(const DeviceFactory& factory) const;
+
+  /// Figure 3: random write of `capacity_multiples` x device capacity.
+  GcRunResult run_gc_timeline(const DeviceFactory& factory,
+                              double capacity_multiples = 3.0,
+                              std::uint32_t io_bytes = 131072,
+                              int queue_depth = 32) const;
+
+  /// Figure 4 sweep.  Each cell runs `cell_duration` of simulated time on a
+  /// fresh device.
+  PatternGainMatrix run_pattern_gain(const DeviceFactory& factory,
+                                     std::vector<std::uint32_t> sizes,
+                                     std::vector<int> queue_depths,
+                                     SimTime cell_duration) const;
+
+  /// Figure 5 sweep over write ratios (0..100 step `ratio_step`).
+  BudgetScan run_budget_scan(const DeviceFactory& factory,
+                             std::uint32_t io_bytes = 262144,
+                             int queue_depth = 32, int ratio_step = 10,
+                             SimTime cell_duration = 2 * units::kSec) const;
+
+  const SuiteConfig& config() const { return cfg_; }
+
+  /// Sequentially fills [0, region_bytes) so later reads touch real data;
+  /// ends with a flush barrier and a settle gap.
+  static void precondition(sim::Simulator& sim, BlockDevice& device,
+                           std::uint64_t region_bytes, SimTime settle_time,
+                           std::uint64_t seed);
+
+ private:
+  SuiteConfig cfg_;
+};
+
+}  // namespace uc::contract

@@ -1,0 +1,36 @@
+#include "ebs/chunk_map.h"
+
+#include <numeric>
+
+namespace uc::ebs {
+
+ChunkMap::ChunkMap(std::uint64_t volume_bytes, const ChunkMapConfig& cfg)
+    : volume_bytes_(volume_bytes),
+      chunk_bytes_(cfg.chunk_bytes),
+      replication_(cfg.replication) {
+  UC_ASSERT(volume_bytes > 0 && cfg.chunk_bytes > 0,
+            "volume and chunk sizes must be positive");
+  UC_ASSERT(cfg.chunk_bytes % kLogicalPageBytes == 0,
+            "chunk size must be 4 KiB aligned");
+  UC_ASSERT(cfg.replication >= 1 && cfg.replication <= cfg.nodes,
+            "replication must fit the node count");
+
+  const auto chunks = static_cast<std::uint32_t>(
+      (volume_bytes + chunk_bytes_ - 1) / chunk_bytes_);
+  placement_.reserve(chunks);
+  Rng rng(cfg.seed ^ 0xc4a11c0deull);
+  std::vector<int> nodes(static_cast<std::size_t>(cfg.nodes));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    // Partial Fisher–Yates: pick `replication` distinct nodes.
+    for (int k = 0; k < cfg.replication; ++k) {
+      const auto j = static_cast<std::size_t>(
+          k + static_cast<int>(rng.uniform_u64(
+                  static_cast<std::uint64_t>(cfg.nodes - k))));
+      std::swap(nodes[static_cast<std::size_t>(k)], nodes[j]);
+    }
+    placement_.emplace_back(nodes.begin(), nodes.begin() + cfg.replication);
+  }
+}
+
+}  // namespace uc::ebs

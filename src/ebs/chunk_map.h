@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file chunk_map.h
+/// Volume address space → chunk → replica placement.
+///
+/// An ESSD's storage space "is distributed and replicated (e.g., three-way)
+/// across different nodes and SSDs in the storage cluster" (paper §II-C).
+/// The volume is carved into fixed-size chunks; each chunk is served by a
+/// replica group of distinct storage nodes.  This placement is the
+/// mechanism behind Observation 3: a sequential write stream occupies one
+/// chunk (one replica group) at a time, while random writes fan out across
+/// every node in the cluster.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace uc::ebs {
+
+using ChunkId = std::uint32_t;
+
+struct ChunkMapConfig {
+  std::uint64_t chunk_bytes = 64ull << 20;
+  int replication = 3;
+  int nodes = 16;
+  std::uint64_t seed = 1;
+};
+
+class ChunkMap {
+ public:
+  ChunkMap(std::uint64_t volume_bytes, const ChunkMapConfig& cfg);
+
+  ChunkId chunk_of(ByteOffset offset) const {
+    UC_DCHECK(offset < volume_bytes_, "offset beyond volume");
+    return static_cast<ChunkId>(offset / chunk_bytes_);
+  }
+
+  /// Byte offset within the chunk.
+  std::uint64_t offset_in_chunk(ByteOffset offset) const {
+    return offset % chunk_bytes_;
+  }
+
+  /// Replica node ids for a chunk, primary first.
+  const std::vector<int>& replicas(ChunkId chunk) const {
+    return placement_[chunk];
+  }
+
+  std::uint32_t chunk_count() const {
+    return static_cast<std::uint32_t>(placement_.size());
+  }
+  std::uint64_t chunk_bytes() const { return chunk_bytes_; }
+  std::uint32_t pages_per_chunk() const {
+    return static_cast<std::uint32_t>(chunk_bytes_ / kLogicalPageBytes);
+  }
+  int replication() const { return replication_; }
+
+ private:
+  std::uint64_t volume_bytes_;
+  std::uint64_t chunk_bytes_;
+  int replication_;
+  std::vector<std::vector<int>> placement_;
+};
+
+}  // namespace uc::ebs

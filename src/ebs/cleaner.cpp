@@ -1,0 +1,66 @@
+#include "ebs/cleaner.h"
+
+namespace uc::ebs {
+
+Cleaner::Cleaner(sim::Simulator& sim, const CleanerConfig& cfg,
+                 std::uint64_t segment_bytes, std::vector<ChunkLog>& logs,
+                 SegmentPool& pool)
+    : sim_(sim),
+      cfg_(cfg),
+      segment_bytes_(segment_bytes),
+      logs_(logs),
+      pool_(pool) {
+  UC_ASSERT(cfg_.processing_mbps > 0.0, "cleaner needs positive bandwidth");
+}
+
+void Cleaner::notify() {
+  if (busy_) return;
+  if (pool_.free_ratio() >= cfg_.start_free_ratio) return;
+  busy_ = true;
+  run_cycle();
+}
+
+Cleaner::GlobalVictim Cleaner::pick_global_victim() const {
+  GlobalVictim best;
+  for (std::uint32_t c = 0; c < logs_.size(); ++c) {
+    const auto v = logs_[c].pick_victim();
+    if (!v.has_value()) continue;
+    if (!best.found || v->garbage_ratio() > best.victim.garbage_ratio()) {
+      best.chunk = c;
+      best.victim = *v;
+      best.found = true;
+    }
+  }
+  return best;
+}
+
+void Cleaner::run_cycle() {
+  if (pool_.free_ratio() >= cfg_.start_free_ratio) {
+    busy_ = false;
+    return;
+  }
+  const GlobalVictim target = pick_global_victim();
+  const bool desperate = pool_.free_ratio() < cfg_.desperate_free_ratio;
+  const double min_ratio = desperate ? 1e-9 : cfg_.min_garbage_ratio;
+  if (!target.found || target.victim.garbage_ratio() < min_ratio) {
+    busy_ = false;
+    return;
+  }
+  // Processing a victim costs its full segment size through the background
+  // cleaning bandwidth; replicas are cleaned in parallel on their nodes.
+  const double seconds =
+      static_cast<double>(segment_bytes_) / (cfg_.processing_mbps * 1e6);
+  sim_.schedule_after(static_cast<SimTime>(seconds * 1e9),
+                      [this, target] {
+                        std::uint32_t moved = 0;
+                        const bool ok = logs_[target.chunk].clean_segment(
+                            target.victim.seq, pool_, &moved);
+                        UC_ASSERT(ok, "cleaner reserve exhausted");
+                        ++stats_.segments_cleaned;
+                        stats_.pages_relocated += moved;
+                        stats_.bytes_processed += segment_bytes_;
+                        run_cycle();
+                      });
+}
+
+}  // namespace uc::ebs

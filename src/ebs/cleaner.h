@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file cleaner.h
+/// Background log cleaner (the provider-side GC of Observation 2).
+///
+/// The cleaner runs off the critical path on dedicated background bandwidth
+/// — users never see it directly; they only see its *absence* when the
+/// spare pool runs dry and appends stall until segments are freed.  The
+/// volume's post-cliff sustained write rate therefore converges to the
+/// cleaner's net reclaim rate, which is how the paper's Figure 3 ESSD-1
+/// curve (flat, cliff at ~2.55x capacity, then ~305 MB/s) is produced.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "ebs/segment_store.h"
+#include "sim/simulator.h"
+
+namespace uc::ebs {
+
+struct CleanerConfig {
+  /// Victim-segment processing rate (read + rewrite, replicas in parallel).
+  double processing_mbps = 600.0;
+  /// Skip victims with less garbage than this unless the pool is desperate.
+  double min_garbage_ratio = 0.02;
+  /// Start cleaning once the pool's free ratio falls below this.
+  double start_free_ratio = 0.75;
+  /// Below this free ratio, clean any victim with nonzero garbage.
+  double desperate_free_ratio = 0.05;
+};
+
+struct CleanerStats {
+  std::uint64_t segments_cleaned = 0;
+  std::uint64_t pages_relocated = 0;
+  std::uint64_t bytes_processed = 0;
+};
+
+class Cleaner {
+ public:
+  Cleaner(sim::Simulator& sim, const CleanerConfig& cfg,
+          std::uint64_t segment_bytes, std::vector<ChunkLog>& logs,
+          SegmentPool& pool);
+
+  /// Pool or garbage state changed; (re)start the cleaning loop if needed.
+  void notify();
+
+  bool busy() const { return busy_; }
+  const CleanerStats& stats() const { return stats_; }
+
+ private:
+  struct GlobalVictim {
+    std::uint32_t chunk = 0;
+    ChunkLog::Victim victim;
+    bool found = false;
+  };
+
+  GlobalVictim pick_global_victim() const;
+  void run_cycle();
+
+  sim::Simulator& sim_;
+  CleanerConfig cfg_;
+  std::uint64_t segment_bytes_;
+  std::vector<ChunkLog>& logs_;
+  SegmentPool& pool_;
+  CleanerStats stats_;
+  bool busy_ = false;
+};
+
+}  // namespace uc::ebs

@@ -1,0 +1,261 @@
+#include "ebs/cluster.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace uc::ebs {
+
+StorageCluster::StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg,
+                               std::uint64_t volume_bytes)
+    : sim_(sim),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      map_(volume_bytes,
+           ChunkMapConfig{cfg.chunk_bytes, cfg.replication, cfg.fabric.nodes,
+                          cfg.seed}),
+      fabric_(cfg.fabric, Rng(cfg.seed ^ 0xfab71cull)),
+      // Pool sizing: live data + spare + one open segment per chunk, plus
+      // the cleaner's reserve.
+      pool_((volume_bytes + cfg.spare_pool_bytes) / cfg.segment_bytes +
+                map_.chunk_count() + cfg.cleaner_reserve_groups,
+            cfg.cleaner_reserve_groups),
+      replica_write_(cfg.replica_write),
+      replica_read_(cfg.replica_read),
+      append_ns_per_byte_(units::ns_per_byte_from_mbps(cfg.node_append_mbps)),
+      read_ns_per_byte_(units::ns_per_byte_from_mbps(cfg.node_read_mbps)) {
+  UC_ASSERT(cfg.segment_bytes > 0 &&
+                cfg.segment_bytes % kLogicalPageBytes == 0,
+            "segment size must be 4 KiB aligned");
+  UC_ASSERT(cfg.chunk_bytes % cfg.segment_bytes == 0,
+            "chunk size must be a multiple of the segment size");
+  const auto pages_per_segment =
+      static_cast<std::uint32_t>(cfg.segment_bytes / kLogicalPageBytes);
+  logs_.reserve(map_.chunk_count());
+  for (std::uint32_t c = 0; c < map_.chunk_count(); ++c) {
+    logs_.emplace_back(map_.pages_per_chunk(), pages_per_segment);
+  }
+  readahead_cursor_.assign(map_.chunk_count(), ~0ull);
+  for (int n = 0; n < cfg.fabric.nodes; ++n) {
+    node_append_.emplace_back();
+    node_read_.emplace_back();
+    node_caches_.emplace_back(cfg.node_cache_pages);
+  }
+  cleaner_ = std::make_unique<Cleaner>(sim_, cfg.cleaner, cfg.segment_bytes,
+                                       logs_, pool_);
+  pool_.set_release_callback([this] { pump_appends(); });
+}
+
+// --------------------------------------------------------------- writes --
+
+void StorageCluster::write(ByteOffset offset, std::uint32_t bytes,
+                           WriteStamp first_stamp, std::function<void()> done) {
+  UC_ASSERT(map_.offset_in_chunk(offset) + bytes <= map_.chunk_bytes(),
+            "write fragment crosses a chunk boundary");
+  ++stats_.writes;
+  PendingWrite op;
+  op.chunk = map_.chunk_of(offset);
+  op.first_page = static_cast<std::uint32_t>(map_.offset_in_chunk(offset) /
+                                             kLogicalPageBytes);
+  op.pages = bytes / kLogicalPageBytes;
+  op.first_stamp = first_stamp;
+  op.bytes = bytes;
+  op.done = std::move(done);
+  append_queue_.push_back(std::move(op));
+  pump_appends();
+}
+
+void StorageCluster::pump_appends() {
+  while (!append_queue_.empty()) {
+    PendingWrite& op = append_queue_.front();
+    ChunkLog& log = logs_[op.chunk];
+    while (op.cursor < op.pages) {
+      // Writes invalidate any cached older version of the page.
+      for (const int node : map_.replicas(op.chunk)) {
+        node_caches_[static_cast<std::size_t>(node)].invalidate(
+            cache_key(op.chunk, op.first_page + op.cursor));
+      }
+      if (!log.append_page(op.first_page + op.cursor,
+                           op.first_stamp + op.cursor, pool_)) {
+        // Pool dry: the volume stalls until the cleaner frees segments.
+        // This emergent throttling *is* the provider's flow limiting.
+        if (!stalled_) {
+          stalled_ = true;
+          stall_since_ = sim_.now();
+          ++stats_.stalled_writes;
+        }
+        cleaner_->notify();
+        return;
+      }
+      ++op.cursor;
+    }
+    if (stalled_) {
+      stalled_ = false;
+      stats_.append_stall_ns += sim_.now() - stall_since_;
+    }
+    stats_.written_pages += op.pages;
+    issue_write_io(op);
+    append_queue_.pop_front();
+  }
+  cleaner_->notify();
+}
+
+void StorageCluster::issue_write_io(PendingWrite& op) {
+  // Fan the payload out to every replica; the op completes on the slowest
+  // journal commit plus the ack hop back to the block server.
+  SimTime slowest = 0;
+  for (const int node : map_.replicas(op.chunk)) {
+    SimTime t = fabric_.to_node(sim_.now(), node, op.bytes);
+    const auto svc = static_cast<SimTime>(
+        cfg_.node_append_op_us * 1e3 +
+        append_ns_per_byte_ * static_cast<double>(op.bytes));
+    t = node_append_[static_cast<std::size_t>(node)].acquire(t, svc);
+    t += replica_write_.sample(rng_, op.bytes);
+    slowest = std::max(slowest, t);
+  }
+  slowest += fabric_.hop_latency();
+  sim_.schedule_at(slowest, std::move(op.done));
+}
+
+// ---------------------------------------------------------------- reads --
+
+void StorageCluster::read(ByteOffset offset, std::uint32_t bytes,
+                          std::function<void()> done) {
+  UC_ASSERT(map_.offset_in_chunk(offset) + bytes <= map_.chunk_bytes(),
+            "read fragment crosses a chunk boundary");
+  ++stats_.reads;
+  const ChunkId chunk = map_.chunk_of(offset);
+  const auto first_page = static_cast<std::uint32_t>(
+      map_.offset_in_chunk(offset) / kLogicalPageBytes);
+  const std::uint32_t pages = bytes / kLogicalPageBytes;
+  stats_.read_pages += pages;
+
+  // Reads route to the chunk's primary replica: caches and read-ahead
+  // state live where the reads go, and load still spreads because chunk
+  // primaries are distributed across the cluster.
+  const int node = map_.replicas(chunk)[0];
+  auto& cache = node_caches_[static_cast<std::size_t>(node)];
+  ChunkLog& log = logs_[chunk];
+
+  // Request message reaches the node first.
+  const SimTime t_req = fabric_.to_node(sim_.now(), node, 256);
+
+  std::uint32_t miss_pages = 0;
+  SimTime ready = t_req;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    const std::uint32_t page = first_page + i;
+    if (!log.is_written(page)) {
+      ++stats_.unwritten_read_pages;  // served as zeros from metadata
+      continue;
+    }
+    if (auto r = cache.lookup(cache_key(chunk, page)); r.has_value()) {
+      ++stats_.cache_hit_pages;
+      ready = std::max(ready, *r);
+      continue;
+    }
+    ++miss_pages;
+  }
+
+  if (miss_pages == 0 && pages > 0) {
+    // Cache-served reads still occupy the node's read pipeline briefly.
+    ready = std::max(ready,
+                     node_read_[static_cast<std::size_t>(node)].acquire(
+                         t_req, static_cast<SimTime>(cfg_.node_read_op_us * 1e3)));
+  }
+  if (miss_pages > 0) {
+    stats_.media_read_pages += miss_pages;
+    const std::uint64_t miss_bytes =
+        static_cast<std::uint64_t>(miss_pages) * kLogicalPageBytes;
+    const auto svc = static_cast<SimTime>(
+        cfg_.node_read_op_us * 1e3 +
+        read_ns_per_byte_ * static_cast<double>(miss_bytes));
+    SimTime t = node_read_[static_cast<std::size_t>(node)].acquire(t_req, svc);
+    t += replica_read_.sample(rng_, miss_bytes);
+    ready = std::max(ready, t);
+    for (std::uint32_t i = 0; i < pages; ++i) {
+      const std::uint32_t page = first_page + i;
+      if (log.is_written(page)) cache.insert(cache_key(chunk, page), t);
+    }
+  }
+
+  // Node-side sequential read-ahead (provider-dependent; Alibaba-style
+  // profiles enable it, which is why their sequential reads outrun their
+  // random reads in Figure 2c).
+  if (cfg_.readahead && readahead_cursor_[chunk] == first_page) {
+    const std::uint32_t ra_first = first_page + pages;
+    std::uint32_t ra_pages = 0;
+    for (std::uint32_t i = 0; i < cfg_.readahead_pages; ++i) {
+      const std::uint32_t page = ra_first + i;
+      if (page >= map_.pages_per_chunk()) break;
+      if (!log.is_written(page)) break;
+      if (cache.contains(cache_key(chunk, page))) continue;
+      ++ra_pages;
+    }
+    if (ra_pages > 0) {
+      ++stats_.readahead_fetches;
+      const std::uint64_t ra_bytes =
+          static_cast<std::uint64_t>(ra_pages) * kLogicalPageBytes;
+      const auto svc = static_cast<SimTime>(
+          cfg_.node_read_op_us * 1e3 +
+          read_ns_per_byte_ * static_cast<double>(ra_bytes));
+      const SimTime t_ra =
+          node_read_[static_cast<std::size_t>(node)].acquire(ready, svc) +
+          replica_read_.sample(rng_, ra_bytes);
+      for (std::uint32_t i = 0; i < cfg_.readahead_pages; ++i) {
+        const std::uint32_t page = ra_first + i;
+        if (page >= map_.pages_per_chunk()) break;
+        if (!log.is_written(page)) break;
+        cache.insert(cache_key(chunk, page), t_ra);
+      }
+    }
+  }
+  readahead_cursor_[chunk] = first_page + pages;
+
+  const SimTime t_back = fabric_.to_vm(ready, node, bytes);
+  sim_.schedule_at(t_back, std::move(done));
+}
+
+// ----------------------------------------------------------------- misc --
+
+void StorageCluster::trim(ByteOffset offset, std::uint32_t bytes) {
+  UC_ASSERT(map_.offset_in_chunk(offset) + bytes <= map_.chunk_bytes(),
+            "trim fragment crosses a chunk boundary");
+  const ChunkId chunk = map_.chunk_of(offset);
+  const auto first_page = static_cast<std::uint32_t>(
+      map_.offset_in_chunk(offset) / kLogicalPageBytes);
+  const std::uint32_t pages = bytes / kLogicalPageBytes;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    logs_[chunk].trim_page(first_page + i);
+    for (const int node : map_.replicas(chunk)) {
+      node_caches_[static_cast<std::size_t>(node)].invalidate(
+          cache_key(chunk, first_page + i));
+    }
+  }
+  cleaner_->notify();
+}
+
+bool StorageCluster::is_written(ByteOffset offset) const {
+  const ChunkId chunk = map_.chunk_of(offset);
+  return logs_[chunk].is_written(static_cast<std::uint32_t>(
+      map_.offset_in_chunk(offset) / kLogicalPageBytes));
+}
+
+WriteStamp StorageCluster::page_stamp(ByteOffset offset) const {
+  const ChunkId chunk = map_.chunk_of(offset);
+  return logs_[chunk].page_stamp(static_cast<std::uint32_t>(
+      map_.offset_in_chunk(offset) / kLogicalPageBytes));
+}
+
+std::uint64_t StorageCluster::live_pages() const {
+  std::uint64_t total = 0;
+  for (const auto& log : logs_) total += log.live_pages();
+  return total;
+}
+
+std::uint64_t StorageCluster::garbage_pages() const {
+  std::uint64_t total = 0;
+  for (const auto& log : logs_) total += log.garbage_pages();
+  return total;
+}
+
+}  // namespace uc::ebs

@@ -1,0 +1,128 @@
+#include "ebs/segment_store.h"
+
+namespace uc::ebs {
+
+SegmentPool::SegmentPool(std::uint64_t total_groups,
+                         std::uint64_t cleaner_reserve)
+    : total_(total_groups), free_(total_groups), reserve_(cleaner_reserve) {
+  UC_ASSERT(total_groups > cleaner_reserve,
+            "pool must exceed the cleaner reserve");
+}
+
+bool SegmentPool::try_allocate(bool privileged) {
+  const std::uint64_t floor = privileged ? 0 : reserve_;
+  if (free_ <= floor) return false;
+  --free_;
+  return true;
+}
+
+void SegmentPool::release(std::uint64_t groups) {
+  free_ += groups;
+  UC_ASSERT(free_ <= total_, "pool release overflow");
+  if (on_release_) on_release_();
+}
+
+ChunkLog::ChunkLog(std::uint32_t pages_in_chunk,
+                   std::uint32_t pages_per_segment)
+    : pages_per_segment_(pages_per_segment),
+      page_seg_(pages_in_chunk, kUnwritten),
+      page_stamp_(pages_in_chunk, 0) {
+  UC_ASSERT(pages_in_chunk > 0 && pages_per_segment > 0,
+            "chunk and segment sizes must be positive");
+}
+
+bool ChunkLog::ensure_open_segment(SegmentPool& pool, bool privileged) {
+  if (open_seq_ >= 0 &&
+      segments_[static_cast<std::size_t>(open_seq_)].appended <
+          pages_per_segment_) {
+    return true;
+  }
+  if (!pool.try_allocate(privileged)) return false;
+  open_seq_ = static_cast<std::int64_t>(segments_.size());
+  segments_.push_back(Segment{});
+  ++allocated_segments_;
+  return true;
+}
+
+void ChunkLog::account_overwrite(std::uint32_t page) {
+  const std::uint32_t old_seq = page_seg_[page];
+  if (old_seq == kUnwritten) return;
+  Segment& old_seg = segments_[old_seq];
+  UC_ASSERT(old_seg.live > 0 && !old_seg.freed,
+            "overwrite accounting against a freed segment");
+  --old_seg.live;
+  --live_pages_;
+}
+
+bool ChunkLog::append_page(std::uint32_t page, WriteStamp stamp,
+                           SegmentPool& pool) {
+  UC_DCHECK(page < page_seg_.size(), "page beyond chunk");
+  if (!ensure_open_segment(pool, /*privileged=*/false)) return false;
+  account_overwrite(page);
+  Segment& seg = segments_[static_cast<std::size_t>(open_seq_)];
+  ++seg.appended;
+  ++seg.live;
+  ++appended_alive_pages_;
+  ++live_pages_;
+  page_seg_[page] = static_cast<std::uint32_t>(open_seq_);
+  UC_ASSERT(stamp < (1ull << 32), "chunk log stores 32-bit stamps");
+  page_stamp_[page] = static_cast<std::uint32_t>(stamp);
+  return true;
+}
+
+void ChunkLog::trim_page(std::uint32_t page) {
+  UC_DCHECK(page < page_seg_.size(), "page beyond chunk");
+  account_overwrite(page);
+  page_seg_[page] = kUnwritten;
+}
+
+std::optional<ChunkLog::Victim> ChunkLog::pick_victim() const {
+  std::optional<Victim> best;
+  for (std::size_t seq = 0; seq < segments_.size(); ++seq) {
+    const Segment& seg = segments_[seq];
+    if (seg.freed || static_cast<std::int64_t>(seq) == open_seq_) continue;
+    if (seg.appended < pages_per_segment_) continue;  // still filling (stale)
+    Victim v{static_cast<std::uint32_t>(seq), seg.live, seg.appended};
+    if (!best.has_value() || v.garbage_ratio() > best->garbage_ratio()) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+bool ChunkLog::clean_segment(std::uint32_t seq, SegmentPool& pool,
+                             std::uint32_t* live_moved) {
+  // Note: ensure_open_segment may grow `segments_`, so the victim must be
+  // re-addressed by index — never hold a reference across it.
+  UC_ASSERT(!segments_[seq].freed, "cleaning a freed segment");
+  UC_ASSERT(static_cast<std::int64_t>(seq) != open_seq_,
+            "cleaning the open segment");
+
+  std::uint32_t moved = 0;
+  if (segments_[seq].live > 0) {
+    // Relocate live pages into the open log, preserving their stamps.
+    for (std::uint32_t page = 0;
+         page < page_seg_.size() && segments_[seq].live > 0; ++page) {
+      if (page_seg_[page] != seq) continue;
+      if (!ensure_open_segment(pool, /*privileged=*/true)) return false;
+      // Move without changing global live: the page stays live.
+      --segments_[seq].live;
+      Segment& open = segments_[static_cast<std::size_t>(open_seq_)];
+      ++open.appended;
+      ++open.live;
+      ++appended_alive_pages_;
+      page_seg_[page] = static_cast<std::uint32_t>(open_seq_);
+      ++moved;
+    }
+  }
+  UC_ASSERT(segments_[seq].live == 0,
+            "victim retained live pages after relocation");
+  appended_alive_pages_ -= segments_[seq].appended;
+  segments_[seq].freed = true;
+  --allocated_segments_;
+  pool.release(1);
+  if (live_moved != nullptr) *live_moved = moved;
+  return true;
+}
+
+}  // namespace uc::ebs

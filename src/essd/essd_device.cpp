@@ -1,0 +1,139 @@
+#include "essd/essd_device.h"
+
+#include <memory>
+
+namespace uc::essd {
+
+EssdDevice::EssdDevice(sim::Simulator& sim, const EssdConfig& cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      frontend_write_(cfg.frontend_write),
+      frontend_read_(cfg.frontend_read) {
+  UC_ASSERT(cfg_.validate().is_ok(), "invalid ESSD configuration");
+  info_.name = cfg_.name;
+  info_.capacity_bytes = cfg_.capacity_bytes;
+  info_.logical_block_bytes = kLogicalPageBytes;
+  info_.guaranteed_bw_gbs = cfg_.guaranteed_bw_gbs;
+  info_.guaranteed_iops = cfg_.guaranteed_iops;
+  qos_ = std::make_unique<QosGate>(sim_, cfg_.qos);
+  cluster_ = std::make_unique<ebs::StorageCluster>(sim_, cfg_.cluster,
+                                                   cfg_.capacity_bytes);
+}
+
+int EssdDevice::for_each_fragment(
+    ByteOffset offset, std::uint32_t bytes,
+    const std::function<void(ByteOffset, std::uint32_t)>& fn) {
+  const std::uint64_t chunk_bytes = cfg_.cluster.chunk_bytes;
+  int fragments = 0;
+  ByteOffset at = offset;
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::uint64_t room = chunk_bytes - (at % chunk_bytes);
+    const auto take =
+        static_cast<std::uint32_t>(remaining < room ? remaining : room);
+    fn(at, take);
+    at += take;
+    remaining -= take;
+    ++fragments;
+  }
+  return fragments;
+}
+
+void EssdDevice::complete(const IoRequest& req, SimTime submit_time,
+                          const CompletionFn& done) {
+  IoResult result;
+  result.id = req.id;
+  result.op = req.op;
+  result.offset = req.offset;
+  result.bytes = req.bytes;
+  result.submit_time = submit_time;
+  result.complete_time = sim_.now();
+  done(result);
+}
+
+void EssdDevice::submit(const IoRequest& req, CompletionFn done) {
+  UC_ASSERT(validate_request(info_, req).is_ok(), "invalid I/O request");
+  const SimTime submit_time = sim_.now();
+
+  switch (req.op) {
+    case IoOp::kRead:
+    case IoOp::kWrite: {
+      const bool is_write = req.op == IoOp::kWrite;
+      if (is_write) {
+        ++io_stats_.writes;
+        io_stats_.written_bytes += req.bytes;
+      } else {
+        ++io_stats_.reads;
+        io_stats_.read_bytes += req.bytes;
+      }
+      // The QoS gate admits the whole operation, then the frontend
+      // (virtualization + block server) processes it, then the cluster.
+      qos_->admit(req.bytes, [this, req, is_write, submit_time,
+                              done = std::move(done)]() mutable {
+        // The block-server pipeline serializes per-op processing, then the
+        // sampled software latency elapses before the cluster sees the op.
+        const SimTime piped = frontend_pipe_.acquire(
+            sim_.now(), static_cast<SimTime>(cfg_.frontend_op_us * 1e3));
+        const SimTime fw = is_write ? frontend_write_.sample(rng_, req.bytes)
+                                    : frontend_read_.sample(rng_, req.bytes);
+        sim_.schedule_at(piped + fw, [this, req, is_write, submit_time,
+                                 done = std::move(done)]() mutable {
+          struct Join {
+            int remaining = 0;
+            IoRequest req;
+            SimTime submit_time;
+            CompletionFn done;
+          };
+          auto join = std::make_shared<Join>();
+          join->req = req;
+          join->submit_time = submit_time;
+          join->done = std::move(done);
+          join->remaining = for_each_fragment(
+              req.offset, req.bytes,
+              [&](ByteOffset at, std::uint32_t len) {
+                auto on_frag = [this, join] {
+                  if (--join->remaining == 0) {
+                    complete(join->req, join->submit_time, join->done);
+                  }
+                };
+                if (is_write) {
+                  const WriteStamp first = stamp_counter_ + 1;
+                  stamp_counter_ += len / kLogicalPageBytes;
+                  cluster_->write(at, len, first, on_frag);
+                } else {
+                  cluster_->read(at, len, on_frag);
+                }
+              });
+        });
+      });
+      break;
+    }
+    case IoOp::kFlush: {
+      // Writes commit to replicated journals before acknowledging, so a
+      // flush barrier has nothing left to wait for beyond the frontend.
+      ++io_stats_.flushes;
+      const SimTime fw = frontend_write_.sample(rng_, 0);
+      sim_.schedule_after(fw, [this, req, submit_time,
+                               done = std::move(done)]() mutable {
+        complete(req, submit_time, done);
+      });
+      break;
+    }
+    case IoOp::kTrim: {
+      ++io_stats_.trims;
+      for_each_fragment(req.offset, req.bytes,
+                        [&](ByteOffset at, std::uint32_t len) {
+                          cluster_->trim(at, len);
+                        });
+      const SimTime fw = frontend_write_.sample(rng_, 0);
+      sim_.schedule_after(fw, [this, req, submit_time,
+                               done = std::move(done)]() mutable {
+        complete(req, submit_time, done);
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace uc::essd

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file essd_device.h
+/// The elastic SSD: a virtualized block device whose data path is
+/// QoS gate → virtualization/block-server frontend → storage cluster
+/// (replicated chunk appends / replica reads) — paper §II-C.
+///
+/// From the user's perspective it is interchangeable with `ssd::SsdDevice`
+/// (same `BlockDevice` interface); the unwritten contract is about how
+/// differently it behaves.
+
+#include <cstdint>
+#include <memory>
+
+#include "common/block_device.h"
+#include "common/rng.h"
+#include "ebs/cluster.h"
+#include "essd/essd_config.h"
+#include "essd/qos.h"
+#include "sim/latency_model.h"
+#include "sim/simulator.h"
+
+namespace uc::essd {
+
+struct EssdIoStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t written_bytes = 0;
+};
+
+class EssdDevice : public BlockDevice {
+ public:
+  EssdDevice(sim::Simulator& sim, const EssdConfig& cfg);
+
+  const DeviceInfo& info() const override { return info_; }
+  void submit(const IoRequest& req, CompletionFn done) override;
+
+  const EssdIoStats& io_stats() const { return io_stats_; }
+  const QosGate& qos() const { return *qos_; }
+  const ebs::StorageCluster& cluster() const { return *cluster_; }
+  ebs::StorageCluster& cluster() { return *cluster_; }
+
+ private:
+  /// Splits [offset, offset+bytes) into chunk-aligned fragments and invokes
+  /// `fn(frag_offset, frag_bytes)` for each; returns the fragment count.
+  int for_each_fragment(ByteOffset offset, std::uint32_t bytes,
+                        const std::function<void(ByteOffset, std::uint32_t)>& fn);
+  void complete(const IoRequest& req, SimTime submit_time,
+                const CompletionFn& done);
+
+  sim::Simulator& sim_;
+  EssdConfig cfg_;
+  DeviceInfo info_;
+  Rng rng_;
+  sim::LatencyModel frontend_write_;
+  sim::LatencyModel frontend_read_;
+  sim::SerialResource frontend_pipe_;
+  std::unique_ptr<QosGate> qos_;
+  std::unique_ptr<ebs::StorageCluster> cluster_;
+  EssdIoStats io_stats_;
+  WriteStamp stamp_counter_ = 0;
+};
+
+}  // namespace uc::essd

@@ -1,0 +1,67 @@
+#include "essd/qos.h"
+
+#include <algorithm>
+
+namespace uc::essd {
+
+QosGate::QosGate(sim::Simulator& sim, const QosConfig& cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      bytes_bucket_(cfg.bw_bytes_per_s, cfg.bw_bytes_per_s * cfg.bw_burst_s),
+      iops_bucket_(cfg.iops, cfg.iops * cfg.iops_burst_s) {}
+
+bool QosGate::try_pass(std::uint64_t bytes, double cost) {
+  const SimTime now = sim_.now();
+  // A request larger than a bucket's burst capacity could never pass (the
+  // bucket cannot fill beyond its capacity), so the *admission check* is
+  // clamped to the capacity; the full amount is still consumed as debt,
+  // which delays everything behind it by the correct pacing time.
+  const double byte_need = std::min(static_cast<double>(bytes),
+                                    bytes_bucket_.capacity());
+  const double iops_need = std::min(cost, iops_bucket_.capacity());
+  if (bytes_bucket_.delay_until_available(now, byte_need) > 0) return false;
+  if (iops_bucket_.delay_until_available(now, iops_need) > 0) return false;
+  bytes_bucket_.consume_with_debt(now, static_cast<double>(bytes));
+  iops_bucket_.consume_with_debt(now, cost);
+  return true;
+}
+
+void QosGate::admit(std::uint64_t bytes, std::function<void()> go) {
+  const double cost = io_cost(bytes);
+  if (queue_.empty() && try_pass(bytes, cost)) {
+    ++stats_.admitted;
+    go();
+    return;
+  }
+  ++stats_.throttled;
+  queue_.push_back(Pending{bytes, cost, sim_.now(), std::move(go)});
+  pump();
+}
+
+void QosGate::pump() {
+  while (!queue_.empty()) {
+    Pending& head = queue_.front();
+    if (!try_pass(head.bytes, head.io_cost)) break;
+    ++stats_.admitted;
+    stats_.throttle_ns += sim_.now() - head.enqueued;
+    auto go = std::move(head.go);
+    queue_.pop_front();
+    go();
+  }
+  if (queue_.empty() || timer_armed_) return;
+  const SimTime now = sim_.now();
+  const Pending& head = queue_.front();
+  const double byte_need = std::min(static_cast<double>(head.bytes),
+                                    bytes_bucket_.capacity());
+  const double iops_need = std::min(head.io_cost, iops_bucket_.capacity());
+  const SimTime wait =
+      std::max(bytes_bucket_.delay_until_available(now, byte_need),
+               iops_bucket_.delay_until_available(now, iops_need));
+  timer_armed_ = true;
+  sim_.schedule_after(wait == 0 ? 1 : wait, [this] {
+    timer_armed_ = false;
+    pump();
+  });
+}
+
+}  // namespace uc::essd

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file geometry.h
+/// Physical NAND organization: channel → die → plane → block → page → slot.
+///
+/// The flash die is the unit of parallel operation and the page the unit of
+/// data storage (paper §II-A).  Physical pages (e.g. 16 KiB) hold several
+/// 4 KiB logical "slots"; the FTL packs logical pages into slots and stripes
+/// consecutive allocations across dies and planes ("superblocks", §II-A) to
+/// harvest parallelism.
+///
+/// Addressing uses flat indices:
+///   die  ∈ [0, total_dies)               channel = die / dies_per_channel
+///   Ppa  = flat physical page index      Spa = Ppa * slots_per_page + slot
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace uc::flash {
+
+/// Flat physical page address.
+using Ppa = std::uint64_t;
+/// Flat physical slot (4 KiB unit) address.
+using Spa = std::uint64_t;
+
+inline constexpr Spa kInvalidSpa = ~static_cast<Spa>(0);
+
+struct FlashGeometry {
+  int channels = 8;
+  int dies_per_channel = 4;
+  int planes_per_die = 4;
+  int blocks_per_plane = 224;   ///< superblock count equals this
+  int pages_per_block = 96;
+  std::uint32_t page_bytes = 16384;
+
+  int total_dies() const { return channels * dies_per_channel; }
+  int slots_per_page() const {
+    return static_cast<int>(page_bytes / kLogicalPageBytes);
+  }
+  std::uint64_t pages_per_die() const {
+    return static_cast<std::uint64_t>(planes_per_die) * blocks_per_plane *
+           pages_per_block;
+  }
+  std::uint64_t total_pages() const {
+    return pages_per_die() * static_cast<std::uint64_t>(total_dies());
+  }
+  std::uint64_t total_slots() const {
+    return total_pages() * static_cast<std::uint64_t>(slots_per_page());
+  }
+  std::uint64_t physical_bytes() const {
+    return total_pages() * static_cast<std::uint64_t>(page_bytes);
+  }
+
+  /// Bytes one multi-plane program writes on a single die (the FTL's
+  /// allocation row): planes_per_die pages.
+  std::uint64_t row_bytes() const {
+    return static_cast<std::uint64_t>(planes_per_die) * page_bytes;
+  }
+  int slots_per_row() const { return planes_per_die * slots_per_page(); }
+
+  /// A superblock groups block index `sb` of every plane on every die.
+  int superblock_count() const { return blocks_per_plane; }
+  std::uint64_t superblock_bytes() const {
+    return static_cast<std::uint64_t>(total_dies()) * row_bytes() *
+           pages_per_block;
+  }
+  std::uint64_t slots_per_superblock() const {
+    return static_cast<std::uint64_t>(total_dies()) * slots_per_row() *
+           pages_per_block;
+  }
+
+  int channel_of_die(int die) const { return die / dies_per_channel; }
+
+  /// Flat page index for (die, plane, block-in-plane, page-in-block).
+  Ppa ppa(int die, int plane, int block, int page) const {
+    return ((static_cast<Ppa>(die) * planes_per_die + plane) * blocks_per_plane +
+            block) *
+               pages_per_block +
+           page;
+  }
+
+  int die_of_ppa(Ppa p) const {
+    return static_cast<int>(p / pages_per_die());
+  }
+  int die_of_spa(Spa s) const {
+    return die_of_ppa(s / static_cast<Spa>(slots_per_page()));
+  }
+
+  /// Flat slot index inside a superblock, ordered (page row, die, plane,
+  /// slot): the exact order the allocator fills a superblock.
+  Spa superblock_slot_spa(int sb, std::uint64_t slot_in_sb) const;
+
+  Status validate() const;
+};
+
+inline Spa FlashGeometry::superblock_slot_spa(int sb,
+                                              std::uint64_t slot_in_sb) const {
+  const std::uint64_t slots_row = static_cast<std::uint64_t>(slots_per_row());
+  const std::uint64_t row = slot_in_sb / slots_row;       // 0..pages_per_block*dies
+  const std::uint64_t within = slot_in_sb % slots_row;
+  const int page = static_cast<int>(row / total_dies());
+  const int die = static_cast<int>(row % total_dies());
+  const int plane = static_cast<int>(within / slots_per_page());
+  const int slot = static_cast<int>(within % slots_per_page());
+  return ppa(die, plane, sb, page) * slots_per_page() + slot;
+}
+
+inline Status FlashGeometry::validate() const {
+  if (channels <= 0 || dies_per_channel <= 0 || planes_per_die <= 0 ||
+      blocks_per_plane <= 0 || pages_per_block <= 0) {
+    return Status::invalid_argument("flash geometry dimensions must be positive");
+  }
+  if (page_bytes == 0 || page_bytes % kLogicalPageBytes != 0) {
+    return Status::invalid_argument(
+        "physical page must be a multiple of the 4 KiB logical page");
+  }
+  return Status::ok();
+}
+
+}  // namespace uc::flash

@@ -1,0 +1,37 @@
+#include "ftl/mapping.h"
+
+namespace uc::ftl {
+
+PageMapping::PageMapping(std::uint64_t logical_pages)
+    : entries_(logical_pages) {
+  UC_ASSERT(logical_pages > 0, "mapping needs at least one logical page");
+}
+
+PageMapping::UpdateResult PageMapping::update_if_newer(Lpn lpn, flash::Spa spa,
+                                                       WriteStamp stamp) {
+  check(lpn);
+  Entry& e = entries_[lpn];
+  if (e.stamp > stamp) {
+    return {false, flash::kInvalidSpa};
+  }
+  UpdateResult result{true, e.spa};
+  if (e.spa == flash::kInvalidSpa) ++mapped_;
+  e.spa = spa;
+  e.stamp = stamp;
+  return result;
+}
+
+flash::Spa PageMapping::unmap(Lpn lpn, WriteStamp trim_stamp) {
+  check(lpn);
+  Entry& e = entries_[lpn];
+  UC_ASSERT(trim_stamp >= e.stamp, "trim stamp must be current");
+  const flash::Spa previous = e.spa;
+  if (previous != flash::kInvalidSpa) {
+    --mapped_;
+    e.spa = flash::kInvalidSpa;
+  }
+  e.stamp = trim_stamp;
+  return previous;
+}
+
+}  // namespace uc::ftl

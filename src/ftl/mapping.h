@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file mapping.h
+/// Page-level logical-to-physical address mapping (paper §II-A: the FTL
+/// "keeps track of a fine-grained (e.g., page-level) mapping table").
+///
+/// Every mapping entry carries the write stamp of the data it points at.
+/// An update applies iff its stamp is not older than the current entry's
+/// (`update_if_newer`).  Equal stamps occur exactly once: when GC relocates
+/// a slot, the copy carries the original stamp and must win over the stale
+/// physical location.  Strictly-older stamps (a host program completing
+/// after the page was overwritten or trimmed) lose.  This single rule makes
+/// the three racing writers — host flushes, GC relocations, stale program
+/// completions — converge without ordering assumptions beyond the
+/// simulator's deterministic event order.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "flash/geometry.h"
+
+namespace uc::ftl {
+
+class PageMapping {
+ public:
+  explicit PageMapping(std::uint64_t logical_pages);
+
+  std::uint64_t logical_pages() const { return entries_.size(); }
+
+  /// kInvalidSpa if unmapped.
+  flash::Spa lookup(Lpn lpn) const {
+    check(lpn);
+    return entries_[lpn].spa;
+  }
+
+  WriteStamp stamp_of(Lpn lpn) const {
+    check(lpn);
+    return entries_[lpn].stamp;
+  }
+
+  bool is_mapped(Lpn lpn) const { return lookup(lpn) != flash::kInvalidSpa; }
+
+  struct UpdateResult {
+    bool applied = false;
+    flash::Spa previous = flash::kInvalidSpa;  ///< valid only when applied
+  };
+
+  /// Points `lpn` at `spa` if `stamp` is not older than the current mapping
+  /// (see file comment for the equal-stamp rationale).  Returns whether it
+  /// applied and the previously mapped slot (which the caller must
+  /// invalidate).
+  UpdateResult update_if_newer(Lpn lpn, flash::Spa spa, WriteStamp stamp);
+
+  /// Unmaps (trim) with the trim's own fresh stamp, so in-flight programs
+  /// of older data cannot resurrect the page.  Returns the previously
+  /// mapped slot or kInvalidSpa.
+  flash::Spa unmap(Lpn lpn, WriteStamp trim_stamp);
+
+  std::uint64_t mapped_count() const { return mapped_; }
+
+ private:
+  struct Entry {
+    flash::Spa spa = flash::kInvalidSpa;
+    WriteStamp stamp = 0;
+  };
+
+  void check(Lpn lpn) const {
+    UC_DCHECK(lpn < entries_.size(), "LPN out of mapping range");
+  }
+
+  std::vector<Entry> entries_;
+  std::uint64_t mapped_ = 0;
+};
+
+}  // namespace uc::ftl

@@ -1,0 +1,99 @@
+#include "ftl/prefetcher.h"
+
+#include <algorithm>
+
+namespace uc::ftl {
+
+ReadCache::ReadCache(std::uint32_t capacity_slots) : capacity_(capacity_slots) {
+  UC_ASSERT(capacity_slots > 0, "read cache needs capacity");
+}
+
+void ReadCache::insert(Lpn lpn, SimTime ready) {
+  auto it = map_.find(lpn);
+  if (it != map_.end()) {
+    it->second.ready = std::min(it->second.ready, ready);
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(lpn);
+    it->second.lru_it = lru_.begin();
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const Lpn evict = lru_.back();
+    lru_.pop_back();
+    map_.erase(evict);
+  }
+  lru_.push_front(lpn);
+  map_.emplace(lpn, Node{ready, lru_.begin()});
+}
+
+std::optional<SimTime> ReadCache::lookup(Lpn lpn) {
+  auto it = map_.find(lpn);
+  if (it == map_.end()) return std::nullopt;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(lpn);
+  it->second.lru_it = lru_.begin();
+  return it->second.ready;
+}
+
+void ReadCache::invalidate(Lpn lpn) {
+  auto it = map_.find(lpn);
+  if (it == map_.end()) return;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+SequentialPrefetcher::SequentialPrefetcher(const Config& cfg)
+    : cfg_(cfg), streams_(static_cast<std::size_t>(cfg.stream_table_size)) {
+  UC_ASSERT(cfg.stream_table_size > 0, "need at least one stream slot");
+  UC_ASSERT(cfg.trigger_hits >= 1, "trigger must be at least one hit");
+}
+
+SequentialPrefetcher::Suggestion SequentialPrefetcher::on_read(
+    Lpn lpn, std::uint32_t pages, std::uint64_t device_pages) {
+  ++use_counter_;
+  // Find a stream whose predicted head matches this read.
+  StreamEntry* match = nullptr;
+  for (auto& s : streams_) {
+    if (s.hits > 0 && s.next_lpn == lpn) {
+      match = &s;
+      break;
+    }
+  }
+  if (match == nullptr) {
+    // Start/replace the least-recently-used stream entry.
+    StreamEntry* lru = &streams_[0];
+    for (auto& s : streams_) {
+      if (s.last_use < lru->last_use) lru = &s;
+    }
+    lru->next_lpn = lpn + pages;
+    lru->prefetched_until = lpn + pages;
+    lru->hits = 1;
+    lru->last_use = use_counter_;
+    return {};
+  }
+  match->hits += 1;
+  match->next_lpn = lpn + pages;
+  match->last_use = use_counter_;
+  if (match->hits < cfg_.trigger_hits) return {};
+
+  // Hysteresis: top the window back up to read_ahead_pages only once it has
+  // drained below half, so read-ahead issues in page-row-sized batches
+  // instead of one page per demand read.
+  const Lpn head = lpn + pages;
+  const std::uint64_t window =
+      match->prefetched_until > head ? match->prefetched_until - head : 0;
+  if (window > static_cast<std::uint64_t>(cfg_.read_ahead_pages) / 2) {
+    return {};
+  }
+  const Lpn target = std::min<std::uint64_t>(
+      head + static_cast<std::uint64_t>(cfg_.read_ahead_pages), device_pages);
+  Lpn start = std::max<std::uint64_t>(match->prefetched_until, head);
+  if (start >= target) return {};
+  Suggestion s;
+  s.start = start;
+  s.pages = static_cast<std::uint32_t>(target - start);
+  match->prefetched_until = target;
+  return s;
+}
+
+}  // namespace uc::ftl

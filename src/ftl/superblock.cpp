@@ -1,0 +1,144 @@
+#include "ftl/superblock.h"
+
+namespace uc::ftl {
+
+SuperblockManager::SuperblockManager(const flash::FlashGeometry& geometry)
+    : geometry_(geometry),
+      superblocks_(static_cast<std::size_t>(geometry.superblock_count())),
+      valid_(geometry.total_slots(), 0),
+      meta_lpn_(geometry.total_slots(), 0),
+      meta_stamp_(geometry.total_slots(), 0) {
+  UC_ASSERT(geometry_.total_slots() < (1ull << 32),
+            "slot metadata uses 32-bit indices; shrink the geometry");
+  for (int sb = 0; sb < geometry_.superblock_count(); ++sb) {
+    free_list_.push_back(sb);
+  }
+}
+
+std::optional<RowAlloc> SuperblockManager::allocate_row(Stream stream,
+                                                        SimTime now,
+                                                        int user_reserve_sbs) {
+  StreamState& st = streams_[static_cast<int>(stream)];
+  const auto slots_per_sb =
+      static_cast<std::uint32_t>(geometry_.slots_per_superblock());
+  if (st.open_sb >= 0 && st.next_slot >= slots_per_sb) {
+    SuperblockInfo& done = superblocks_[static_cast<std::size_t>(st.open_sb)];
+    done.state = SbState::kClosed;
+    done.closed_at = now;
+    st.open_sb = -1;
+  }
+  if (st.open_sb < 0) {
+    // The GC stream may always take a free superblock; user allocations keep
+    // `user_reserve_sbs` in reserve so relocation can always make progress.
+    const int reserve = stream == Stream::kGc ? 0 : user_reserve_sbs;
+    if (free_count() <= reserve) return std::nullopt;
+    st.open_sb = free_list_.front();
+    free_list_.pop_front();
+    st.next_slot = 0;
+    SuperblockInfo& sb = superblocks_[static_cast<std::size_t>(st.open_sb)];
+    UC_ASSERT(sb.state == SbState::kFree, "allocated superblock must be free");
+    UC_ASSERT(sb.valid_slots == 0, "free superblock must hold no valid data");
+    sb.state = SbState::kOpen;
+    sb.next_slot = 0;
+  }
+  const auto slots_per_row = static_cast<std::uint32_t>(geometry_.slots_per_row());
+  RowAlloc row;
+  row.sb = st.open_sb;
+  row.first_slot_in_sb = st.next_slot;
+  row.row = static_cast<int>(st.next_slot / slots_per_row);
+  row.die = die_of_row(row.row);
+  st.next_slot += slots_per_row;
+  superblocks_[static_cast<std::size_t>(st.open_sb)].next_slot = st.next_slot;
+  return row;
+}
+
+void SuperblockManager::fill_slot(flash::Spa spa, Lpn lpn, WriteStamp stamp) {
+  const auto i = static_cast<std::size_t>(spa);
+  UC_ASSERT(valid_[i] == 0, "filling an already-valid slot");
+  UC_ASSERT(lpn < (1ull << 32) && stamp < (1ull << 32),
+            "slot metadata stores 32-bit LPNs and stamps");
+  valid_[i] = 1;
+  meta_lpn_[i] = static_cast<std::uint32_t>(lpn);
+  meta_stamp_[i] = static_cast<std::uint32_t>(stamp);
+  SuperblockInfo& sb = superblocks_[static_cast<std::size_t>(superblock_of_spa(spa))];
+  ++sb.valid_slots;
+  ++total_valid_;
+}
+
+bool SuperblockManager::invalidate_if_valid(flash::Spa spa) {
+  const auto i = static_cast<std::size_t>(spa);
+  if (valid_[i] == 0) return false;
+  valid_[i] = 0;
+  SuperblockInfo& sb = superblocks_[static_cast<std::size_t>(superblock_of_spa(spa))];
+  UC_ASSERT(sb.valid_slots > 0, "valid-slot accounting underflow");
+  --sb.valid_slots;
+  --total_valid_;
+  return true;
+}
+
+int SuperblockManager::superblock_of_spa(flash::Spa spa) const {
+  const flash::Ppa ppa = spa / static_cast<flash::Spa>(geometry_.slots_per_page());
+  return static_cast<int>((ppa / geometry_.pages_per_block) %
+                          geometry_.blocks_per_plane);
+}
+
+int SuperblockManager::pick_victim(GcPolicy policy, SimTime now) const {
+  int best = -1;
+  double best_score = 0.0;
+  const double slots_per_sb =
+      static_cast<double>(geometry_.slots_per_superblock());
+  for (int sb = 0; sb < geometry_.superblock_count(); ++sb) {
+    const SuperblockInfo& info = superblocks_[static_cast<std::size_t>(sb)];
+    if (info.state != SbState::kClosed) continue;
+    double score = 0.0;
+    if (policy == GcPolicy::kGreedy) {
+      // Fewer valid slots -> better; score is reclaimable slots.
+      score = slots_per_sb - static_cast<double>(info.valid_slots);
+    } else {
+      const double u = static_cast<double>(info.valid_slots) / slots_per_sb;
+      const double age_s =
+          static_cast<double>(now - info.closed_at) / 1e9 + 1e-6;
+      score = u >= 1.0 ? 0.0 : age_s * (1.0 - u) / (2.0 * u + 1e-9);
+    }
+    if (best < 0 || score > best_score) {
+      best = sb;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void SuperblockManager::begin_gc(int sb) {
+  SuperblockInfo& info = superblocks_[static_cast<std::size_t>(sb)];
+  UC_ASSERT(info.state == SbState::kClosed, "GC victim must be closed");
+  info.state = SbState::kGcVictim;
+}
+
+void SuperblockManager::on_erased(int sb, bool retired) {
+  SuperblockInfo& info = superblocks_[static_cast<std::size_t>(sb)];
+  UC_ASSERT(info.state == SbState::kGcVictim, "erase completes a GC cycle");
+  UC_ASSERT(info.valid_slots == 0, "erasing a superblock with valid data");
+  // Clear slot validity metadata (already invalid) and reset the cursor.
+  info.next_slot = 0;
+  ++info.erase_count;
+  if (retired) {
+    info.state = SbState::kRetired;
+    ++retired_;
+    return;
+  }
+  info.state = SbState::kFree;
+  free_list_.push_back(sb);
+}
+
+void SuperblockManager::valid_slots_in_row(int sb, int row,
+                                           std::vector<flash::Spa>& out) const {
+  const int spr = geometry_.slots_per_row();
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(row) * static_cast<std::uint64_t>(spr);
+  for (int i = 0; i < spr; ++i) {
+    const flash::Spa spa = geometry_.superblock_slot_spa(sb, base + i);
+    if (valid_[static_cast<std::size_t>(spa)]) out.push_back(spa);
+  }
+}
+
+}  // namespace uc::ftl

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file superblock.h
+/// Superblock pool: allocation, validity accounting, wear, GC victims.
+///
+/// A superblock groups the same block index across every plane of every die
+/// (paper §II-A: "flash blocks are typically grouped into superblocks ... to
+/// fully leverage flash parallelism").  The allocation unit is a *row*: one
+/// multi-plane program on one die (planes_per_die pages).  Rows fill a
+/// superblock die-by-die then page-by-page, so consecutive rows land on
+/// different dies and stream at full array bandwidth.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "flash/geometry.h"
+
+namespace uc::ftl {
+
+/// Write streams get separate open superblocks so GC relocations do not mix
+/// with host data (hot/cold separation).
+enum class Stream : int { kUser = 0, kGc = 1 };
+inline constexpr int kStreamCount = 2;
+
+enum class SbState : std::uint8_t {
+  kFree,
+  kOpen,
+  kClosed,
+  kGcVictim,
+  kRetired,  ///< erase failure; removed from the pool permanently
+};
+
+enum class GcPolicy {
+  kGreedy,       ///< min valid slots
+  kCostBenefit,  ///< max (age * (1-u)) / (2u)
+};
+
+struct SuperblockInfo {
+  SbState state = SbState::kFree;
+  std::uint32_t valid_slots = 0;
+  std::uint32_t next_slot = 0;  ///< allocation cursor within the superblock
+  std::uint32_t erase_count = 0;
+  SimTime closed_at = 0;
+};
+
+/// One allocated row: `slot_spa(i)` for i in [0, slots_per_row) addresses
+/// its slots in fill order.
+struct RowAlloc {
+  int sb = -1;
+  int row = -1;
+  int die = -1;
+  std::uint64_t first_slot_in_sb = 0;
+};
+
+class SuperblockManager {
+ public:
+  explicit SuperblockManager(const flash::FlashGeometry& geometry);
+
+  // --- allocation ---
+
+  /// Allocates the next row for `stream` at time `now`.  Returns nullopt if
+  /// the stream would need a fresh superblock and none is available to it
+  /// (user allocations cannot dig into the GC reserve).
+  std::optional<RowAlloc> allocate_row(Stream stream, SimTime now,
+                                       int user_reserve_sbs);
+
+  flash::Spa row_slot_spa(const RowAlloc& row, int i) const {
+    return geometry_.superblock_slot_spa(
+        row.sb, row.first_slot_in_sb + static_cast<std::uint64_t>(i));
+  }
+
+  // --- slot validity & metadata ---
+
+  /// Marks a programmed slot valid and records its logical identity.
+  void fill_slot(flash::Spa spa, Lpn lpn, WriteStamp stamp);
+
+  /// Invalidates if currently valid; returns whether it was valid.
+  bool invalidate_if_valid(flash::Spa spa);
+
+  bool slot_valid(flash::Spa spa) const {
+    return valid_[static_cast<std::size_t>(spa)] != 0;
+  }
+  Lpn slot_lpn(flash::Spa spa) const {
+    return meta_lpn_[static_cast<std::size_t>(spa)];
+  }
+  WriteStamp slot_stamp(flash::Spa spa) const {
+    return meta_stamp_[static_cast<std::size_t>(spa)];
+  }
+
+  // --- GC support ---
+
+  int free_count() const { return static_cast<int>(free_list_.size()); }
+  int retired_count() const { return retired_; }
+
+  /// Best victim under `policy`, or -1 if no closed superblock exists.
+  int pick_victim(GcPolicy policy, SimTime now) const;
+
+  void begin_gc(int sb);
+
+  /// Completes a GC cycle: erased superblocks rejoin the free list; a failed
+  /// erase retires the superblock instead.
+  void on_erased(int sb, bool retired);
+
+  /// Appends the SPAs of currently-valid slots in `row` of `sb` to `out`.
+  void valid_slots_in_row(int sb, int row, std::vector<flash::Spa>& out) const;
+
+  int rows_per_superblock() const {
+    return geometry_.pages_per_block * geometry_.total_dies();
+  }
+  int die_of_row(int row) const { return row % geometry_.total_dies(); }
+
+  const SuperblockInfo& info(int sb) const {
+    return superblocks_[static_cast<std::size_t>(sb)];
+  }
+  int superblock_of_spa(flash::Spa spa) const;
+
+  std::uint64_t total_valid_slots() const { return total_valid_; }
+  const flash::FlashGeometry& geometry() const { return geometry_; }
+
+ private:
+  struct StreamState {
+    int open_sb = -1;
+    std::uint32_t next_slot = 0;
+  };
+
+  flash::FlashGeometry geometry_;
+  std::vector<SuperblockInfo> superblocks_;
+  std::deque<int> free_list_;
+  StreamState streams_[kStreamCount];
+  int retired_ = 0;
+  std::uint64_t total_valid_ = 0;
+
+  // Flat per-slot metadata, indexed by Spa.
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint32_t> meta_lpn_;
+  std::vector<std::uint32_t> meta_stamp_;
+};
+
+}  // namespace uc::ftl

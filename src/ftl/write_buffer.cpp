@@ -1,0 +1,95 @@
+#include "ftl/write_buffer.h"
+
+namespace uc::ftl {
+
+WriteBuffer::WriteBuffer(std::uint32_t capacity_slots)
+    : capacity_(capacity_slots) {
+  UC_ASSERT(capacity_slots > 0, "write buffer needs capacity");
+  entries_.reserve(capacity_slots * 2);
+}
+
+bool WriteBuffer::try_insert(Lpn lpn, WriteStamp stamp) {
+  auto it = entries_.find(lpn);
+  if (it != entries_.end()) {
+    Entry& e = it->second;
+    UC_DCHECK(stamp > e.latest_stamp, "stamps must increase per LPN");
+    e.latest_stamp = stamp;
+    e.discarded = false;
+    if (e.dirty) {
+      // Overwrite coalesces in place: no new copy, no new FIFO entry.
+      return true;
+    }
+    if (occupied_ >= capacity_) return false;
+    e.dirty = true;
+    ++occupied_;
+    ++dirty_;
+    dirty_fifo_.push_back(lpn);
+    return true;
+  }
+  if (occupied_ >= capacity_) return false;
+  Entry e;
+  e.latest_stamp = stamp;
+  e.dirty = true;
+  entries_.emplace(lpn, e);
+  ++occupied_;
+  ++dirty_;
+  dirty_fifo_.push_back(lpn);
+  return true;
+}
+
+std::uint32_t WriteBuffer::take_flush_batch(std::uint32_t max_slots,
+                                            std::vector<FlushItem>& out) {
+  std::uint32_t taken = 0;
+  while (taken < max_slots && !dirty_fifo_.empty()) {
+    const Lpn lpn = dirty_fifo_.front();
+    dirty_fifo_.pop_front();
+    auto it = entries_.find(lpn);
+    if (it == entries_.end() || !it->second.dirty) continue;  // stale entry
+    Entry& e = it->second;
+    e.dirty = false;
+    e.inflight += 1;
+    --dirty_;
+    out.push_back(FlushItem{lpn, e.latest_stamp});
+    ++taken;
+  }
+  return taken;
+}
+
+void WriteBuffer::batch_programmed(const std::vector<FlushItem>& batch) {
+  for (const FlushItem& item : batch) {
+    auto it = entries_.find(item.lpn);
+    UC_ASSERT(it != entries_.end(), "programmed slot missing from buffer");
+    Entry& e = it->second;
+    UC_ASSERT(e.inflight > 0, "programmed slot was not in flight");
+    e.inflight -= 1;
+    UC_ASSERT(occupied_ > 0, "buffer occupancy underflow");
+    --occupied_;
+    if (e.inflight == 0 && !e.dirty) entries_.erase(it);
+  }
+}
+
+std::optional<WriteStamp> WriteBuffer::read_lookup(Lpn lpn) const {
+  auto it = entries_.find(lpn);
+  if (it == entries_.end()) return std::nullopt;
+  if (it->second.discarded && !it->second.dirty) return std::nullopt;
+  return it->second.latest_stamp;
+}
+
+void WriteBuffer::discard(Lpn lpn) {
+  auto it = entries_.find(lpn);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  if (e.dirty) {
+    e.dirty = false;
+    UC_ASSERT(dirty_ > 0 && occupied_ > 0, "buffer accounting underflow");
+    --dirty_;
+    --occupied_;
+  }
+  if (e.inflight == 0) {
+    entries_.erase(it);
+    return;
+  }
+  e.discarded = true;
+}
+
+}  // namespace uc::ftl

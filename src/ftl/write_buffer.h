@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file write_buffer.h
+/// DRAM write buffer: writes acknowledge as soon as their slots are
+/// buffered, and a background flusher packs dirty slots into full die rows.
+///
+/// This is the mechanism behind the local SSD's ~10 µs write latency in the
+/// paper's Figure 2 ("modern SSDs typically employ a DRAM-based write buffer
+/// to improve write performance", §III-B) — and, under sustained load, the
+/// backpressure point where flash program/GC speed becomes user-visible.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace uc::ftl {
+
+/// One slot handed to the flusher.
+struct FlushItem {
+  Lpn lpn = 0;
+  WriteStamp stamp = 0;
+};
+
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(std::uint32_t capacity_slots);
+
+  /// Buffers one logical page write.  Returns false if the buffer is full
+  /// (the caller queues the request and retries on `space freed`).
+  bool try_insert(Lpn lpn, WriteStamp stamp);
+
+  /// True if the buffer can absorb `slots` more insertions right now.
+  bool has_space(std::uint32_t slots) const {
+    return occupied_ + slots <= capacity_;
+  }
+
+  /// Pops up to `max_slots` dirty slots (FIFO by first-dirty time) into
+  /// `out`, marking them in-flight.  Returns the number taken.
+  std::uint32_t take_flush_batch(std::uint32_t max_slots,
+                                 std::vector<FlushItem>& out);
+
+  /// Completion of a programmed batch: releases the in-flight copies.
+  void batch_programmed(const std::vector<FlushItem>& batch);
+
+  /// Read-path lookup: newest buffered stamp for `lpn`, if any copy (dirty
+  /// or in-flight) is still in DRAM.
+  std::optional<WriteStamp> read_lookup(Lpn lpn) const;
+
+  /// Trim support: drops the dirty copy (if any) and hides in-flight copies
+  /// from the read path.  A later write to the same LPN revives the entry.
+  void discard(Lpn lpn);
+
+  std::uint32_t dirty_slots() const { return dirty_; }
+  std::uint32_t occupied_slots() const { return occupied_; }
+  std::uint32_t capacity_slots() const { return capacity_; }
+  bool empty() const { return occupied_ == 0; }
+
+ private:
+  struct Entry {
+    WriteStamp latest_stamp = 0;
+    bool dirty = false;
+    bool discarded = false;      ///< trimmed while a copy was in flight
+    std::uint32_t inflight = 0;  ///< copies being programmed
+  };
+
+  std::uint32_t capacity_;
+  std::uint32_t occupied_ = 0;  ///< dirty copies + in-flight copies
+  std::uint32_t dirty_ = 0;
+  std::unordered_map<Lpn, Entry> entries_;
+  std::deque<Lpn> dirty_fifo_;
+};
+
+}  // namespace uc::ftl

@@ -1,0 +1,39 @@
+#include "net/fabric.h"
+
+namespace uc::net {
+
+Fabric::Fabric(const FabricConfig& cfg, Rng rng)
+    : hop_model_(cfg.hop),
+      rng_(rng),
+      vm_tx_(cfg.vm_nic_mbps),
+      vm_rx_(cfg.vm_nic_mbps) {
+  UC_ASSERT(cfg.nodes > 0, "fabric needs at least one storage node");
+  node_tx_.reserve(static_cast<std::size_t>(cfg.nodes));
+  node_rx_.reserve(static_cast<std::size_t>(cfg.nodes));
+  for (int i = 0; i < cfg.nodes; ++i) {
+    node_tx_.emplace_back(cfg.node_nic_mbps);
+    node_rx_.emplace_back(cfg.node_nic_mbps);
+  }
+}
+
+SimTime Fabric::to_node(SimTime now, int node, std::uint64_t bytes) {
+  UC_ASSERT(node >= 0 && node < nodes(), "node out of range");
+  vm_tx_bytes_ += bytes;
+  const SimTime sent = vm_tx_.transfer(now, bytes);
+  const SimTime arrived = sent + hop_model_.sample(rng_, 0);
+  return node_rx_[static_cast<std::size_t>(node)].transfer(arrived, bytes);
+}
+
+SimTime Fabric::to_vm(SimTime now, int node, std::uint64_t bytes) {
+  UC_ASSERT(node >= 0 && node < nodes(), "node out of range");
+  vm_rx_bytes_ += bytes;
+  const SimTime sent = node_tx_[static_cast<std::size_t>(node)].transfer(now, bytes);
+  const SimTime arrived = sent + hop_model_.sample(rng_, 0);
+  return vm_rx_.transfer(arrived, bytes);
+}
+
+SimTime Fabric::hop_latency(std::uint64_t bytes) {
+  return hop_model_.sample(rng_, bytes);
+}
+
+}  // namespace uc::net

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file fabric.h
+/// Datacenter network between the compute cluster (user VM + block server)
+/// and the storage nodes (paper Figure 1): full-duplex NICs modeled as
+/// bandwidth pipes and per-hop latency with lognormal jitter plus a rare
+/// spike tail — the "network latency and software processing overhead
+/// within the cloud storage" the paper identifies as the primary cause of
+/// the ESSD latency floor (Observation 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/latency_model.h"
+#include "sim/resources.h"
+#include "sim/simulator.h"
+
+namespace uc::net {
+
+struct FabricConfig {
+  int nodes = 16;
+  double vm_nic_mbps = 3125.0;    ///< 25 GbE at the user VM / block server
+  double node_nic_mbps = 3125.0;  ///< 25 GbE per storage node
+  sim::LatencyModelConfig hop;    ///< one-way switch+propagation latency
+};
+
+/// A message transfer reserves the sender egress pipe, pays the hop
+/// latency, then reserves the receiver ingress pipe (store-and-forward
+/// through the ToR switch).
+class Fabric {
+ public:
+  Fabric(const FabricConfig& cfg, Rng rng);
+
+  /// VM/block-server -> storage node `node`.
+  SimTime to_node(SimTime now, int node, std::uint64_t bytes);
+
+  /// Storage node `node` -> VM/block server.
+  SimTime to_vm(SimTime now, int node, std::uint64_t bytes);
+
+  /// One-way hop latency sample only (for control messages).
+  SimTime hop_latency(std::uint64_t bytes = 0);
+
+  int nodes() const { return static_cast<int>(node_tx_.size()); }
+
+  std::uint64_t vm_tx_bytes() const { return vm_tx_bytes_; }
+  std::uint64_t vm_rx_bytes() const { return vm_rx_bytes_; }
+
+ private:
+  sim::LatencyModel hop_model_;
+  Rng rng_;
+  sim::BandwidthPipe vm_tx_;
+  sim::BandwidthPipe vm_rx_;
+  std::vector<sim::BandwidthPipe> node_tx_;
+  std::vector<sim::BandwidthPipe> node_rx_;
+  std::uint64_t vm_tx_bytes_ = 0;
+  std::uint64_t vm_rx_bytes_ = 0;
+};
+
+}  // namespace uc::net

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file resources.h
+/// Contention primitives for event-driven device models.
+///
+/// The models reserve time on shared resources (a flash channel bus, a NIC, a
+/// node's append pipeline) by asking "given I arrive at `now`, when does my
+/// transfer finish?".  Each resource tracks its own busy horizon, so a
+/// reservation is O(1) or O(log k) and no extra simulator events are needed —
+/// the caller schedules its completion at the returned time.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace uc::sim {
+
+/// A serially-shared resource: one user at a time, FIFO.
+class SerialResource {
+ public:
+  /// Reserves the resource for `duration` starting no earlier than `now`;
+  /// returns the completion time.
+  SimTime acquire(SimTime now, SimTime duration) {
+    const SimTime start = now > busy_until_ ? now : busy_until_;
+    busy_until_ = start + duration;
+    busy_time_ += duration;
+    return busy_until_;
+  }
+
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Total time the resource has spent busy (for utilization accounting).
+  SimTime busy_time() const { return busy_time_; }
+
+ private:
+  SimTime busy_until_ = 0;
+  SimTime busy_time_ = 0;
+};
+
+/// A bandwidth pipe: transfers serialize at `mb_per_s`.  Models NIC links,
+/// flash channel buses, host links.
+class BandwidthPipe {
+ public:
+  explicit BandwidthPipe(double mb_per_s)
+      : ns_per_byte_(units::ns_per_byte_from_mbps(mb_per_s)) {
+    UC_ASSERT(mb_per_s > 0.0, "bandwidth must be positive");
+  }
+
+  /// Reserves a `bytes` transfer starting no earlier than `now`; returns the
+  /// completion time.
+  SimTime transfer(SimTime now, std::uint64_t bytes) {
+    return serial_.acquire(now, transfer_time(bytes));
+  }
+
+  SimTime transfer_time(std::uint64_t bytes) const {
+    return static_cast<SimTime>(static_cast<double>(bytes) * ns_per_byte_);
+  }
+
+  SimTime busy_until() const { return serial_.busy_until(); }
+  SimTime busy_time() const { return serial_.busy_time(); }
+  double ns_per_byte() const { return ns_per_byte_; }
+
+ private:
+  double ns_per_byte_;
+  SerialResource serial_;
+};
+
+/// k identical servers with FIFO assignment to the earliest-free server.
+/// Models node CPU worker pools and parallel backend drives.
+class MultiServer {
+ public:
+  explicit MultiServer(int servers) {
+    UC_ASSERT(servers > 0, "need at least one server");
+    for (int i = 0; i < servers; ++i) free_at_.push(0);
+  }
+
+  /// Occupies the earliest-available server for `duration`; returns the
+  /// completion time.
+  SimTime acquire(SimTime now, SimTime duration) {
+    SimTime free = free_at_.top();
+    free_at_.pop();
+    const SimTime start = now > free ? now : free;
+    const SimTime end = start + duration;
+    free_at_.push(end);
+    busy_time_ += duration;
+    return end;
+  }
+
+  SimTime busy_time() const { return busy_time_; }
+
+ private:
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>> free_at_;
+  SimTime busy_time_ = 0;
+};
+
+}  // namespace uc::sim

@@ -1,0 +1,53 @@
+#include "sim/simulator.h"
+
+namespace uc::sim {
+
+EventId Simulator::schedule_at(SimTime t, Callback cb) {
+  UC_ASSERT(t >= now_, "cannot schedule events in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(cb)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // const_cast to move the callback out; the element is popped immediately.
+    Event& top = const_cast<Event&>(queue_.top());
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    Callback cb = std::move(top.cb);
+    now_ = top.time;
+    queue_.pop();
+    ++events_processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (!step()) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run_while(const std::function<bool()>& keep_going) {
+  while (keep_going() && step()) {
+  }
+}
+
+}  // namespace uc::sim

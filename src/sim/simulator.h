@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file simulator.h
+/// Discrete-event simulation kernel.
+///
+/// Every model in the library (flash dies, FTL background jobs, network
+/// hops, cluster cleaners, workload runners) advances by scheduling
+/// callbacks on one shared `Simulator`.  Events with equal timestamps fire
+/// in scheduling order (FIFO), which makes runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace uc::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` after `delay` nanoseconds.
+  EventId schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event (lazy deletion).  Only events that have not yet
+  /// fired may be cancelled; cancelling twice is a no-op.
+  void cancel(EventId id);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs all events with time <= `t`, then advances the clock to `t`.
+  void run_until(SimTime t);
+
+  /// Runs until the queue is empty or `keep_going()` returns false (checked
+  /// before each event).  Used by volume-bounded experiments.
+  void run_while(const std::function<bool()>& keep_going);
+
+  bool idle() const { return queue_.size() == cancelled_.size(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among equal-time events
+    }
+  };
+
+  /// Pops and runs the earliest live event; returns false if none remain.
+  bool step();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace uc::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file ssd_config.h
+/// Local-SSD device configuration and the scaled Samsung 970 Pro preset the
+/// benchmarks use as the paper's reference device (Table I).
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "ftl/ftl.h"
+#include "sim/latency_model.h"
+
+namespace uc::ssd {
+
+struct SsdConfig {
+  std::string name = "sim-local-ssd";
+  ftl::FtlConfig ftl;
+
+  /// NVMe command processing overhead (firmware + interrupt path).
+  sim::LatencyModelConfig firmware_read{.base_us = 6.0, .sigma = 0.10};
+  sim::LatencyModelConfig firmware_write{.base_us = 9.0, .sigma = 0.10};
+
+  /// Host link (PCIe 3.0 x4-class), full duplex: independent pipes per
+  /// direction.
+  double host_link_mbps = 3500.0;
+
+  std::uint64_t seed = 0x55d0;
+
+  Status validate() const;
+};
+
+/// Samsung 970 Pro-like preset, capacity-scaled (timings and parallelism are
+/// *not* scaled; GC-cliff positions are measured in multiples of capacity,
+/// which is scale-free — see DESIGN.md §2).
+///
+/// Anchors this preset realizes (paper Table I and Figure 2 denominators):
+///   * ~3.5 GB/s max sequential read (host-link bound)
+///   * ~2.7 GB/s sustained write (die program bound, GC-free)
+///   * ~500K IOPS 4 KiB random read
+///   * 4 KiB QD1 latency: ~10 µs buffered write, ~60 µs random read,
+///     ~9.5 µs prefetched sequential read
+SsdConfig samsung_970pro_scaled(std::uint64_t user_capacity_bytes);
+
+}  // namespace uc::ssd

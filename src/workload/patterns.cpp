@@ -1,0 +1,44 @@
+#include "workload/patterns.h"
+
+namespace uc::wl {
+
+OffsetGenerator::OffsetGenerator(AccessPattern pattern,
+                                 ByteOffset region_offset,
+                                 std::uint64_t region_bytes,
+                                 std::uint32_t io_bytes, double zipf_theta,
+                                 std::uint64_t seed)
+    : pattern_(pattern),
+      region_offset_(region_offset),
+      io_bytes_(io_bytes),
+      slots_(region_bytes / io_bytes),
+      rng_(seed),
+      zipf_(slots_ == 0 ? 1 : slots_, zipf_theta > 0.0 ? zipf_theta : 0.99),
+      use_zipf_(zipf_theta > 0.0) {
+  UC_ASSERT(io_bytes > 0 && region_bytes >= io_bytes,
+            "region must hold at least one I/O");
+  UC_ASSERT(region_bytes % io_bytes == 0,
+            "region must be a multiple of the I/O size");
+}
+
+ByteOffset OffsetGenerator::next() {
+  std::uint64_t slot = 0;
+  switch (pattern_) {
+    case AccessPattern::kSequential:
+      slot = cursor_;
+      cursor_ = (cursor_ + 1) % slots_;
+      break;
+    case AccessPattern::kRandom:
+      if (use_zipf_) {
+        // Spread hot ranks across the region so skew is spatial, not a
+        // contiguous hot prefix (matches measured cloud volumes).
+        const std::uint64_t rank = zipf_.next(rng_);
+        slot = (rank * 0x9e3779b97f4a7c15ull) % slots_;
+      } else {
+        slot = rng_.uniform_u64(slots_);
+      }
+      break;
+  }
+  return region_offset_ + slot * static_cast<std::uint64_t>(io_bytes_);
+}
+
+}  // namespace uc::wl

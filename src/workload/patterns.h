@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file patterns.h
+/// Offset-stream generation for jobs: sequential with wrap-around, uniform
+/// random, and zipf-skewed random (used by the synthetic cloud traces).
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/spec.h"
+
+namespace uc::wl {
+
+class OffsetGenerator {
+ public:
+  /// `region_bytes` must be a positive multiple of `io_bytes`.
+  OffsetGenerator(AccessPattern pattern, ByteOffset region_offset,
+                  std::uint64_t region_bytes, std::uint32_t io_bytes,
+                  double zipf_theta, std::uint64_t seed);
+
+  ByteOffset next();
+
+  std::uint64_t slots() const { return slots_; }
+
+ private:
+  AccessPattern pattern_;
+  ByteOffset region_offset_;
+  std::uint32_t io_bytes_;
+  std::uint64_t slots_;
+  std::uint64_t cursor_ = 0;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  bool use_zipf_ = false;
+};
+
+}  // namespace uc::wl

@@ -1,0 +1,81 @@
+#include "workload/reducer.h"
+
+#include "common/status.h"
+
+namespace uc::wl {
+
+ReducingDevice::ReducingDevice(sim::Simulator& sim, BlockDevice& inner,
+                               const ReducerConfig& cfg)
+    : sim_(sim), inner_(inner), cfg_(cfg), cpus_(cfg.cpu_workers) {
+  UC_ASSERT(cfg.reduction_ratio >= 0.0 && cfg.reduction_ratio < 1.0,
+            "reduction ratio must be in [0, 1)");
+  UC_ASSERT(cfg.cpu_workers >= 1, "reduction needs at least one CPU worker");
+}
+
+std::uint32_t ReducingDevice::reduced_bytes(std::uint32_t bytes) const {
+  auto reduced = static_cast<std::uint32_t>(
+      static_cast<double>(bytes) * (1.0 - cfg_.reduction_ratio));
+  // Round up to whole pages; never below one page.
+  reduced = (reduced + kLogicalPageBytes - 1) / kLogicalPageBytes *
+            kLogicalPageBytes;
+  return reduced < kLogicalPageBytes ? kLogicalPageBytes : reduced;
+}
+
+void ReducingDevice::submit(const IoRequest& req, CompletionFn done) {
+  if (req.op == IoOp::kFlush || req.op == IoOp::kTrim) {
+    inner_.submit(req, std::move(done));
+    return;
+  }
+  const std::uint32_t pages = req.bytes / kLogicalPageBytes;
+  const bool is_write = req.op == IoOp::kWrite;
+  const double cpu_us = is_write
+                            ? cfg_.encode_us_per_page * pages
+                            : cfg_.decode_us_per_page * pages;
+  const auto cpu_ns = static_cast<SimTime>(cpu_us * 1e3);
+  stats_.cpu_ns += cpu_ns;
+  stats_.logical_bytes += req.bytes;
+
+  IoRequest reduced = req;
+  reduced.bytes = reduced_bytes(req.bytes);
+  // The simulation models byte volume, not placement of compressed
+  // extents; offsets stay logical.
+  stats_.physical_bytes += reduced.bytes;
+
+  // Latency is reported against the *original* submission, so encode and
+  // decode costs are visible to the caller — that visibility is the whole
+  // point of the Implication 5 experiment.
+  const SimTime submitted = sim_.now();
+
+  if (is_write) {
+    // Encode on a bounded CPU worker first, then write the reduced payload.
+    const SimTime encoded = cpus_.acquire(sim_.now(), cpu_ns);
+    sim_.schedule_at(encoded, [this, req, reduced, submitted,
+                               done = std::move(done)]() mutable {
+      inner_.submit(reduced, [req, submitted, done = std::move(done)](
+                                 const IoResult& r) mutable {
+        IoResult out = r;
+        out.offset = req.offset;
+        out.bytes = req.bytes;  // report logical size to the caller
+        out.submit_time = submitted;
+        done(out);
+      });
+    });
+    return;
+  }
+  // Read the reduced payload, then decode on a bounded CPU worker.
+  inner_.submit(reduced, [this, req, cpu_ns, submitted,
+                          done = std::move(done)](const IoResult& r) mutable {
+    const SimTime decoded = cpus_.acquire(sim_.now(), cpu_ns);
+    sim_.schedule_at(decoded, [this, req, r, submitted,
+                               done = std::move(done)]() mutable {
+      IoResult out = r;
+      out.offset = req.offset;
+      out.bytes = req.bytes;
+      out.submit_time = submitted;
+      out.complete_time = sim_.now();
+      done(out);
+    });
+  });
+}
+
+}  // namespace uc::wl

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file runner.h
+/// Closed-loop job execution (FIO semantics): keep `queue_depth` I/Os
+/// outstanding, record per-op latency into HDR histograms and completed
+/// bytes into a throughput timeline, stop at the job's bound.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/block_device.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/timeline.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "workload/patterns.h"
+#include "workload/spec.h"
+
+namespace uc::wl {
+
+struct JobStats {
+  LatencyHistogram read_latency;
+  LatencyHistogram write_latency;
+  LatencyHistogram all_latency;
+  ThroughputTimeline timeline{units::kSec};
+
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  SimTime first_submit = 0;
+  SimTime last_complete = 0;
+
+  std::uint64_t total_ops() const { return read_ops + write_ops; }
+  std::uint64_t total_bytes() const { return read_bytes + write_bytes; }
+
+  /// Completed-bytes throughput over the job's active window, decimal GB/s.
+  double throughput_gbs() const {
+    const SimTime span = last_complete - first_submit;
+    return span == 0 ? 0.0
+                     : static_cast<double>(total_bytes()) /
+                           static_cast<double>(span);
+  }
+  double iops() const {
+    const SimTime span = last_complete - first_submit;
+    return span == 0 ? 0.0
+                     : static_cast<double>(total_ops()) * 1e9 /
+                           static_cast<double>(span);
+  }
+};
+
+class JobRunner {
+ public:
+  JobRunner(sim::Simulator& sim, BlockDevice& device, const JobSpec& spec);
+
+  /// Begins issuing; progress is driven by simulator events.
+  void start();
+
+  bool finished() const { return stopped_issuing_ && outstanding_ == 0; }
+  const JobStats& stats() const { return stats_; }
+  const JobSpec& spec() const { return spec_; }
+
+  /// Convenience: start the job and run the simulator until it finishes
+  /// (plus any background activity it triggered).
+  static JobStats run_to_completion(sim::Simulator& sim, BlockDevice& device,
+                                    const JobSpec& spec);
+
+ private:
+  bool bound_reached() const;
+  void issue_one();
+  void on_complete(const IoResult& result);
+
+  sim::Simulator& sim_;
+  BlockDevice& device_;
+  JobSpec spec_;
+  JobStats stats_;
+  OffsetGenerator offsets_;
+  Rng mix_rng_;
+  std::uint64_t issued_ops_ = 0;
+  std::uint64_t issued_bytes_ = 0;
+  SimTime deadline_ = kNoTime;
+  int outstanding_ = 0;
+  bool stopped_issuing_ = false;
+  bool started_ = false;
+  IoId next_id_ = 1;
+};
+
+}  // namespace uc::wl

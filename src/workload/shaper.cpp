@@ -1,0 +1,40 @@
+#include "workload/shaper.h"
+
+namespace uc::wl {
+
+SmoothingDevice::SmoothingDevice(sim::Simulator& sim, BlockDevice& inner,
+                                 const SmootherConfig& cfg)
+    : sim_(sim),
+      inner_(inner),
+      bucket_(cfg.target_bytes_per_s,
+              cfg.target_bytes_per_s * (cfg.burst_s > 0 ? cfg.burst_s : 0.05)) {
+}
+
+void SmoothingDevice::submit(const IoRequest& req, CompletionFn done) {
+  const SimTime now = sim_.now();
+  const auto bytes = static_cast<double>(req.bytes);
+  // Debt-based pacing preserves FIFO: each I/O pushes the release horizon
+  // of everything behind it.
+  const SimTime delay = bucket_.delay_until_available(now, bytes);
+  bucket_.consume_with_debt(now, bytes);
+  if (delay == 0) {
+    ++stats_.passed_through;
+    inner_.submit(req, std::move(done));
+    return;
+  }
+  ++stats_.delayed;
+  stats_.total_delay_ns += delay;
+  // The pacing delay is part of the I/O's user-visible latency: report it
+  // against the original submission time.
+  sim_.schedule_after(delay, [this, req, submitted = now,
+                              done = std::move(done)]() mutable {
+    inner_.submit(req, [submitted, done = std::move(done)](
+                           const IoResult& r) mutable {
+      IoResult out = r;
+      out.submit_time = submitted;
+      done(out);
+    });
+  });
+}
+
+}  // namespace uc::wl

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file shaper.h
+/// I/O smoothing (Implication 4): "smooth the read/write I/Os to be evenly
+/// distributed across the timeline and below the guaranteed throughput
+/// budget."
+///
+/// `SmoothingDevice` decorates any block device with a leaky-bucket pacer:
+/// bursts are queued host-side and released at the target rate, so the
+/// volume can be provisioned for the *mean* rate instead of the peak —
+/// the cost lever the paper points at.
+
+#include <cstdint>
+#include <memory>
+
+#include "common/block_device.h"
+#include "common/token_bucket.h"
+#include "sim/simulator.h"
+
+namespace uc::wl {
+
+struct SmootherConfig {
+  double target_bytes_per_s = 1.0e9;
+  /// Pass-through allowance before pacing kicks in (seconds at target rate).
+  double burst_s = 0.05;
+};
+
+struct SmootherStats {
+  std::uint64_t passed_through = 0;
+  std::uint64_t delayed = 0;
+  SimTime total_delay_ns = 0;
+};
+
+class SmoothingDevice : public BlockDevice {
+ public:
+  SmoothingDevice(sim::Simulator& sim, BlockDevice& inner,
+                  const SmootherConfig& cfg);
+
+  const DeviceInfo& info() const override { return inner_.info(); }
+  void submit(const IoRequest& req, CompletionFn done) override;
+
+  const SmootherStats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  BlockDevice& inner_;
+  TokenBucket bucket_;
+  SmootherStats stats_;
+};
+
+}  // namespace uc::wl

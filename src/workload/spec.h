@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file spec.h
+/// FIO-style job specification.  A job is a closed-loop stream of block
+/// I/Os with a fixed queue depth (`iodepth`), block size (`bs`), access
+/// pattern (`rw`), and read/write mix (`rwmixwrite`), bounded by ops, bytes
+/// or simulated duration — the vocabulary of every experiment in the paper.
+
+#include <cstdint>
+#include <string>
+
+#include "common/block_device.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace uc::wl {
+
+enum class AccessPattern {
+  kRandom,
+  kSequential,
+};
+
+inline const char* pattern_name(AccessPattern p) {
+  return p == AccessPattern::kRandom ? "random" : "sequential";
+}
+
+struct JobSpec {
+  std::string name = "job";
+  AccessPattern pattern = AccessPattern::kRandom;
+  std::uint32_t io_bytes = kLogicalPageBytes;
+  int queue_depth = 1;
+
+  /// Fraction of operations that are writes: 1.0 = pure write workload,
+  /// 0.0 = pure read (FIO `rwmixwrite` / 100).
+  double write_ratio = 1.0;
+
+  /// Target region; region_bytes == 0 means the whole device.
+  ByteOffset region_offset = 0;
+  std::uint64_t region_bytes = 0;
+
+  /// Termination: the job stops issuing at whichever bound hits first
+  /// (zero bounds are unlimited; at least one must be set).
+  std::uint64_t total_ops = 0;
+  std::uint64_t total_bytes = 0;
+  SimTime duration = 0;
+
+  /// Spatial skew for random offsets: 0 = uniform, otherwise zipf theta.
+  double zipf_theta = 0.0;
+
+  /// Optional per-completion think time (open-ended rate limiting).
+  SimTime think_time = 0;
+
+  /// Throughput timeline bin width (Figure 3 uses 1 s).
+  SimTime timeline_bin = units::kSec;
+
+  std::uint64_t seed = 1;
+
+  Status validate(const DeviceInfo& device) const;
+
+  /// Effective region size against a concrete device.
+  std::uint64_t effective_region_bytes(const DeviceInfo& device) const {
+    return region_bytes == 0 ? device.capacity_bytes - region_offset
+                             : region_bytes;
+  }
+};
+
+}  // namespace uc::wl

@@ -1,0 +1,193 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/strfmt.h"
+
+namespace uc::wl {
+
+std::vector<TraceEvent> generate_trace(const TraceGenConfig& cfg,
+                                       const DeviceInfo& device) {
+  UC_ASSERT(!cfg.size_mix.empty(), "trace needs an I/O size mix");
+  Rng rng(cfg.seed);
+  const std::uint64_t region_bytes =
+      cfg.region_bytes == 0 ? device.capacity_bytes - cfg.region_offset
+                            : cfg.region_bytes;
+  const std::uint64_t region_pages = region_bytes / kLogicalPageBytes;
+  ZipfGenerator zipf(region_pages, cfg.zipf_theta > 0 ? cfg.zipf_theta : 0.99);
+
+  double weight_sum = 0.0;
+  for (const auto& [bytes, w] : cfg.size_mix) weight_sum += w;
+
+  auto pick_size = [&]() -> std::uint32_t {
+    double x = rng.uniform() * weight_sum;
+    for (const auto& [bytes, w] : cfg.size_mix) {
+      if (x < w) return bytes;
+      x -= w;
+    }
+    return cfg.size_mix.back().first;
+  };
+
+  // Thinned non-homogeneous Poisson: walk in small steps, drawing arrivals
+  // at the max rate and accepting with probability rate(t)/max_rate.
+  std::vector<TraceEvent> trace;
+  const double max_rate =
+      cfg.base_iops * (1.0 + cfg.diurnal_amplitude) + cfg.burst_iops;
+  SimTime burst_until = 0;
+  SimTime next_burst_check = 0;
+  double t = 0.0;
+  const double duration_s = static_cast<double>(cfg.duration) / 1e9;
+  while (true) {
+    t += rng.exponential(1.0 / max_rate);
+    if (t >= duration_s) break;
+    const auto now = static_cast<SimTime>(t * 1e9);
+
+    // Burst process: re-draw burst starts lazily.
+    while (next_burst_check <= now) {
+      if (rng.bernoulli(cfg.bursts_per_s * 0.01)) {  // checked every 10 ms
+        burst_until = next_burst_check + cfg.burst_duration;
+      }
+      next_burst_check += 10 * units::kMs;
+    }
+
+    double rate = cfg.base_iops *
+                  (1.0 + cfg.diurnal_amplitude *
+                             std::sin(2.0 * 3.14159265358979 *
+                                      static_cast<double>(now) /
+                                      static_cast<double>(cfg.diurnal_period)));
+    rate = std::max(rate, cfg.base_iops * 0.05);
+    if (now < burst_until) rate += cfg.burst_iops;
+    if (!rng.bernoulli(rate / max_rate)) continue;
+
+    TraceEvent ev;
+    ev.arrival = now;
+    ev.op = rng.bernoulli(cfg.write_fraction) ? IoOp::kWrite : IoOp::kRead;
+    ev.bytes = pick_size();
+    const std::uint64_t page =
+        (zipf.next(rng) * 0x9e3779b97f4a7c15ull) % region_pages;
+    ByteOffset off = cfg.region_offset + page * kLogicalPageBytes;
+    if (off + ev.bytes > cfg.region_offset + region_bytes) {
+      off = cfg.region_offset + region_bytes - ev.bytes;
+      off -= off % kLogicalPageBytes;
+    }
+    ev.offset = off;
+    trace.push_back(ev);
+  }
+  return trace;
+}
+
+double trace_peak_to_mean(const std::vector<TraceEvent>& trace) {
+  if (trace.empty()) return 0.0;
+  const SimTime bin = 100 * units::kMs;
+  std::vector<std::uint32_t> bins;
+  for (const auto& ev : trace) {
+    const auto b = static_cast<std::size_t>(ev.arrival / bin);
+    if (b >= bins.size()) bins.resize(b + 1, 0);
+    ++bins[b];
+  }
+  std::uint64_t total = 0;
+  std::uint32_t peak = 0;
+  for (const auto c : bins) {
+    total += c;
+    peak = std::max(peak, c);
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(bins.size());
+  return mean == 0.0 ? 0.0 : static_cast<double>(peak) / mean;
+}
+
+Status save_trace_csv(const std::vector<TraceEvent>& trace,
+                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::internal(strfmt("cannot open %s for writing", path.c_str()));
+  }
+  std::fprintf(f, "arrival_ns,op,offset,bytes\n");
+  for (const auto& ev : trace) {
+    std::fprintf(f, "%" PRIu64 ",%s,%" PRIu64 ",%u\n", ev.arrival,
+                 ev.op == IoOp::kWrite ? "W" : "R", ev.offset, ev.bytes);
+  }
+  std::fclose(f);
+  return Status::ok();
+}
+
+Result<std::vector<TraceEvent>> load_trace_csv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::not_found(strfmt("cannot open %s", path.c_str()));
+  }
+  std::vector<TraceEvent> trace;
+  char line[256];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    TraceEvent ev;
+    char op = 'W';
+    unsigned long long arrival = 0;
+    unsigned long long offset = 0;
+    unsigned bytes = 0;
+    if (std::sscanf(line, "%llu,%c,%llu,%u", &arrival, &op, &offset, &bytes) !=
+        4) {
+      std::fclose(f);
+      return Status::invalid_argument(strfmt("bad trace line: %s", line));
+    }
+    ev.arrival = arrival;
+    ev.op = op == 'W' ? IoOp::kWrite : IoOp::kRead;
+    ev.offset = offset;
+    ev.bytes = bytes;
+    trace.push_back(ev);
+  }
+  std::fclose(f);
+  return trace;
+}
+
+TraceReplayer::TraceReplayer(sim::Simulator& sim, BlockDevice& device,
+                             std::vector<TraceEvent> trace)
+    : sim_(sim), device_(device), trace_(std::move(trace)) {
+  UC_ASSERT(std::is_sorted(trace_.begin(), trace_.end(),
+                           [](const TraceEvent& a, const TraceEvent& b) {
+                             return a.arrival < b.arrival;
+                           }),
+            "trace must be arrival-ordered");
+}
+
+void TraceReplayer::start() {
+  t0_ = sim_.now();
+  stats_.first_submit = sim_.now();
+  schedule_next();
+}
+
+void TraceReplayer::schedule_next() {
+  if (submitted_ >= trace_.size()) return;
+  const TraceEvent& ev = trace_[submitted_];
+  sim_.schedule_at(t0_ + ev.arrival, [this, ev] {
+    ++submitted_;
+    ++inflight_;
+    max_inflight_ = std::max(max_inflight_, inflight_);
+    IoRequest req{next_id_++, ev.op, ev.offset, ev.bytes};
+    device_.submit(req, [this](const IoResult& r) {
+      --inflight_;
+      const SimTime lat = r.latency();
+      stats_.all_latency.record(lat);
+      if (r.op == IoOp::kWrite) {
+        stats_.write_latency.record(lat);
+        ++stats_.write_ops;
+        stats_.write_bytes += r.bytes;
+      } else {
+        stats_.read_latency.record(lat);
+        ++stats_.read_ops;
+        stats_.read_bytes += r.bytes;
+      }
+      stats_.timeline.record(r.complete_time, r.bytes);
+      stats_.last_complete = r.complete_time;
+    });
+    schedule_next();
+  });
+}
+
+}  // namespace uc::wl

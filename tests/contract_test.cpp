@@ -1,0 +1,212 @@
+// Tests for the contract library: the suite's measurement plumbing, the
+// observation evaluators on synthetic and simulated data, the cliff
+// detector, and the report renderers.
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "contract/checker.h"
+#include "contract/observations.h"
+#include "contract/report.h"
+#include "contract/suite.h"
+#include "essd/essd_device.h"
+#include "ssd/ssd_device.h"
+
+namespace uc::contract {
+namespace {
+
+using namespace units;
+
+DeviceFactory tiny_ssd() {
+  return [](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+    return std::make_unique<ssd::SsdDevice>(
+        sim, ssd::samsung_970pro_scaled(2 * kGiB));
+  };
+}
+
+DeviceFactory tiny_essd() {
+  return [](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+    return std::make_unique<essd::EssdDevice>(
+        sim, essd::alibaba_pl3_profile(2 * kGiB));
+  };
+}
+
+SuiteConfig tiny_suite_config() {
+  SuiteConfig cfg;
+  cfg.sizes = {4096, 65536};
+  cfg.queue_depths = {1, 8};
+  cfg.ops_per_cell = 300;
+  cfg.region_bytes = 256 * kMiB;
+  cfg.settle_time = 2 * kSec;
+  return cfg;
+}
+
+TEST(Suite, LatencyMatrixHasAllCells) {
+  const CharacterizationSuite suite(tiny_suite_config());
+  const auto m = suite.run_latency_matrix(tiny_ssd(), WorkloadKind::kRandomRead);
+  EXPECT_EQ(m.cells.size(), 4u);
+  for (const auto& cell : m.cells) {
+    EXPECT_GT(cell.avg_ns, 0.0);
+    EXPECT_GE(cell.p999_ns, cell.avg_ns * 0.5);
+    EXPECT_GT(cell.iops, 0.0);
+  }
+  // Cell addressing: row-major [qd][size].
+  EXPECT_EQ(m.cell(0, 1).io_bytes, 65536u);
+  EXPECT_EQ(m.cell(1, 0).queue_depth, 8);
+}
+
+TEST(Suite, GcTimelineAccountsAllBytes) {
+  const CharacterizationSuite suite(tiny_suite_config());
+  const auto run = suite.run_gc_timeline(tiny_essd(), 0.25, 131072, 16);
+  EXPECT_EQ(run.total_written_bytes, 512 * kMiB);
+  EXPECT_FALSE(run.timeline.empty());
+}
+
+TEST(Suite, PatternGainMatrixComputesGain) {
+  const CharacterizationSuite suite(tiny_suite_config());
+  const auto m = suite.run_pattern_gain(tiny_essd(), {65536}, {16},
+                                        units::kSec / 4);
+  ASSERT_EQ(m.random_gbs.size(), 1u);
+  ASSERT_EQ(m.sequential_gbs.size(), 1u);
+  EXPECT_GT(m.gain(0, 0), 1.0);  // the ESSD profile gains from random
+  EXPECT_DOUBLE_EQ(m.max_gain(), m.gain(0, 0));
+}
+
+TEST(GcCliffDetector, FindsSyntheticCliff) {
+  GcRunResult run;
+  run.device_capacity_bytes = 1000000000;  // 1 GB
+  for (int i = 0; i < 60; ++i) {
+    TimelinePoint p;
+    p.time_s = i;
+    p.gb_per_s = i < 30 ? 2.0 : 0.3;
+    p.bytes = static_cast<std::uint64_t>(p.gb_per_s * 1e9);
+    run.timeline.push_back(p);
+  }
+  const auto cliff = detect_gc_cliff(run);
+  ASSERT_TRUE(cliff.found);
+  EXPECT_NEAR(cliff.plateau_gbs, 2.0, 0.01);
+  EXPECT_NEAR(cliff.at_time_s, 30.0, 1.5);
+  EXPECT_NEAR(cliff.post_gbs, 0.3, 0.05);
+  // ~60 GB written at the cliff over a 1 GB device.
+  EXPECT_NEAR(cliff.at_capacity_multiple, 60.0, 3.0);
+}
+
+TEST(GcCliffDetector, FlatTimelineHasNoCliff) {
+  GcRunResult run;
+  run.device_capacity_bytes = 1000000000;
+  for (int i = 0; i < 60; ++i) {
+    TimelinePoint p;
+    p.time_s = i;
+    p.gb_per_s = 1.1;
+    p.bytes = 1100000000;
+    run.timeline.push_back(p);
+  }
+  const auto cliff = detect_gc_cliff(run);
+  EXPECT_FALSE(cliff.found);
+  EXPECT_NEAR(cliff.plateau_gbs, 1.1, 0.01);
+}
+
+TEST(Observations, Obs2ComparesCliffPositions) {
+  GcRunResult early;
+  GcRunResult late;
+  early.device_capacity_bytes = late.device_capacity_bytes = 1000000000;
+  for (int i = 0; i < 40; ++i) {
+    TimelinePoint p;
+    p.time_s = i;
+    p.gb_per_s = i < 10 ? 2.0 : 0.2;
+    p.bytes = static_cast<std::uint64_t>(p.gb_per_s * 1e9);
+    early.timeline.push_back(p);
+    TimelinePoint q;
+    q.time_s = i;
+    q.gb_per_s = i < 35 ? 2.0 : 0.2;
+    q.bytes = static_cast<std::uint64_t>(q.gb_per_s * 1e9);
+    late.timeline.push_back(q);
+  }
+  const auto r = evaluate_obs2(late, early);
+  EXPECT_TRUE(r.holds);
+  const auto inverted = evaluate_obs2(early, late);
+  EXPECT_FALSE(inverted.holds);
+}
+
+TEST(Observations, Obs4DeterminismMetrics) {
+  BudgetScan flat;
+  BudgetScan wild;
+  for (int r = 0; r <= 100; r += 25) {
+    flat.write_ratios_pct.push_back(r);
+    flat.total_gbs.push_back(1.1);
+    flat.write_gbs.push_back(1.1 * r / 100.0);
+    wild.write_ratios_pct.push_back(r);
+    wild.total_gbs.push_back(2.5 + 0.018 * r);  // 2.5 .. 4.3
+    wild.write_gbs.push_back(0.0);
+  }
+  const auto r = evaluate_obs4(flat, wild, 1.1);
+  EXPECT_TRUE(r.holds);
+  EXPECT_LT(r.target_cv, 0.01);
+  EXPECT_GT(r.reference_cv, 0.1);
+  EXPECT_TRUE(r.pinned_to_budget);
+  // A device pinned far from its published budget must fail.
+  const auto off_budget = evaluate_obs4(flat, wild, 3.0);
+  EXPECT_FALSE(off_budget.holds);
+}
+
+TEST(Renderers, ProduceFigureShapedText) {
+  const CharacterizationSuite suite(tiny_suite_config());
+  const auto target =
+      suite.run_latency_matrix(tiny_essd(), WorkloadKind::kRandomWrite);
+  const auto reference =
+      suite.run_latency_matrix(tiny_ssd(), WorkloadKind::kRandomWrite);
+  const std::string grid = render_latency_matrix(target, reference, false);
+  EXPECT_NE(grid.find("random write avg"), std::string::npos);
+  EXPECT_NE(grid.find("QD 1"), std::string::npos);
+  EXPECT_NE(grid.find("x ("), std::string::npos);  // gap cells
+
+  GcRunResult run;
+  run.device_capacity_bytes = 1000000000;
+  for (int i = 0; i < 20; ++i) {
+    TimelinePoint p;
+    p.time_s = i;
+    p.gb_per_s = 1.0;
+    p.bytes = 1000000000;
+    run.timeline.push_back(p);
+  }
+  run.total_written_bytes = 20000000000ull;
+  const std::string tl = render_gc_timeline("dev", run, 10);
+  EXPECT_NE(tl.find("no cliff"), std::string::npos);
+  EXPECT_NE(tl.find("GB/s"), std::string::npos);
+}
+
+TEST(Checker, QuickAuditFindsTheContractOnEssd) {
+  CheckerOptions options;
+  options.quick = true;
+  options.gc_capacity_multiples = 0.5;  // keep the runtime small
+  const ContractChecker checker(options);
+  const auto contract = checker.check(tiny_essd(), "essd-under-test",
+                                      tiny_ssd(), "ssd-ref", 1.1);
+  ASSERT_EQ(contract.observations.size(), 4u);
+  // Obs 1 (latency gap), Obs 3 (pattern gain) and Obs 4 (budget) must hold
+  // for the PL3 profile; Obs 2 trivially holds when neither device cliffs
+  // within the tiny write volume.
+  EXPECT_TRUE(contract.observations[0].holds) << contract.observations[0].evidence;
+  EXPECT_TRUE(contract.observations[2].holds) << contract.observations[2].evidence;
+  EXPECT_TRUE(contract.observations[3].holds) << contract.observations[3].evidence;
+  EXPECT_EQ(contract.implications.size(), 5u);
+  const std::string report = render_contract(contract);
+  EXPECT_NE(report.find("Unwritten Contract"), std::string::npos);
+  EXPECT_NE(report.find("Impl 5"), std::string::npos);
+}
+
+TEST(Checker, SsdAgainstItselfShowsNoContract) {
+  CheckerOptions options;
+  options.quick = true;
+  options.gc_capacity_multiples = 0.25;
+  const ContractChecker checker(options);
+  const auto contract =
+      checker.check(tiny_ssd(), "ssd-a", tiny_ssd(), "ssd-b", 0.0);
+  // A local SSD measured against itself: no latency gap, no pattern gain.
+  EXPECT_FALSE(contract.observations[0].holds);
+  EXPECT_FALSE(contract.observations[2].holds);
+  EXPECT_FALSE(contract.behaves_like_essd());
+}
+
+}  // namespace
+}  // namespace uc::contract

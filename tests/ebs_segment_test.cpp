@@ -1,0 +1,180 @@
+// Tests for the chunk map, the cluster segment pool, and the per-chunk
+// append log with its live/garbage accounting and cleaning.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ebs/chunk_map.h"
+#include "ebs/segment_store.h"
+
+namespace uc::ebs {
+namespace {
+
+TEST(ChunkMap, SplitsVolumeAndPlacesDistinctReplicas) {
+  ChunkMapConfig cfg;
+  cfg.chunk_bytes = 1 << 20;
+  cfg.replication = 3;
+  cfg.nodes = 8;
+  cfg.seed = 5;
+  ChunkMap map(16ull << 20, cfg);
+  EXPECT_EQ(map.chunk_count(), 16u);
+  EXPECT_EQ(map.pages_per_chunk(), 256u);
+  for (ChunkId c = 0; c < map.chunk_count(); ++c) {
+    const auto& reps = map.replicas(c);
+    ASSERT_EQ(reps.size(), 3u);
+    std::set<int> unique(reps.begin(), reps.end());
+    EXPECT_EQ(unique.size(), 3u) << "replicas must be distinct nodes";
+    for (const int n : reps) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 8);
+    }
+  }
+  EXPECT_EQ(map.chunk_of(0), 0u);
+  EXPECT_EQ(map.chunk_of((1 << 20) - 1), 0u);
+  EXPECT_EQ(map.chunk_of(1 << 20), 1u);
+  EXPECT_EQ(map.offset_in_chunk((1 << 20) + 4096), 4096u);
+}
+
+TEST(ChunkMap, PlacementUsesAllNodes) {
+  ChunkMapConfig cfg;
+  cfg.chunk_bytes = 1 << 20;
+  cfg.nodes = 8;
+  ChunkMap map(256ull << 20, cfg);  // 256 chunks
+  std::set<int> used;
+  for (ChunkId c = 0; c < map.chunk_count(); ++c) {
+    for (const int n : map.replicas(c)) used.insert(n);
+  }
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(SegmentPool, AllocateReleaseWithReserve) {
+  SegmentPool pool(10, 2);
+  EXPECT_EQ(pool.free_groups(), 10u);
+  // Normal allocations stop at the reserve.
+  int taken = 0;
+  while (pool.try_allocate(false)) ++taken;
+  EXPECT_EQ(taken, 8);
+  EXPECT_EQ(pool.free_groups(), 2u);
+  // Privileged (cleaner) allocations may dig in.
+  EXPECT_TRUE(pool.try_allocate(true));
+  EXPECT_TRUE(pool.try_allocate(true));
+  EXPECT_FALSE(pool.try_allocate(true));
+  pool.release(3);
+  EXPECT_EQ(pool.free_groups(), 3u);
+  EXPECT_NEAR(pool.free_ratio(), 0.3, 1e-12);
+}
+
+TEST(SegmentPool, ReleaseCallbackFires) {
+  SegmentPool pool(4, 1);
+  int calls = 0;
+  pool.set_release_callback([&] { ++calls; });
+  ASSERT_TRUE(pool.try_allocate(false));
+  pool.release(1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ChunkLog, AppendTracksLiveAndStamps) {
+  SegmentPool pool(16, 1);
+  ChunkLog log(/*pages=*/64, /*pages_per_segment=*/8);
+  EXPECT_FALSE(log.is_written(3));
+  ASSERT_TRUE(log.append_page(3, 100, pool));
+  EXPECT_TRUE(log.is_written(3));
+  EXPECT_EQ(log.page_stamp(3), 100u);
+  EXPECT_EQ(log.live_pages(), 1u);
+  EXPECT_EQ(log.garbage_pages(), 0u);
+  EXPECT_EQ(pool.free_groups(), 15u);  // one segment opened
+}
+
+TEST(ChunkLog, OverwriteCreatesGarbage) {
+  SegmentPool pool(16, 1);
+  ChunkLog log(64, 8);
+  ASSERT_TRUE(log.append_page(3, 1, pool));
+  ASSERT_TRUE(log.append_page(3, 2, pool));
+  EXPECT_EQ(log.live_pages(), 1u);
+  EXPECT_EQ(log.garbage_pages(), 1u);
+  EXPECT_EQ(log.page_stamp(3), 2u);
+}
+
+TEST(ChunkLog, TrimDropsPage) {
+  SegmentPool pool(16, 1);
+  ChunkLog log(64, 8);
+  ASSERT_TRUE(log.append_page(5, 1, pool));
+  log.trim_page(5);
+  EXPECT_FALSE(log.is_written(5));
+  EXPECT_EQ(log.live_pages(), 0u);
+  EXPECT_EQ(log.garbage_pages(), 1u);
+}
+
+TEST(ChunkLog, AppendStallsWhenPoolEmpty) {
+  SegmentPool pool(2, 1);  // one usable group
+  ChunkLog log(64, 8);
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    ASSERT_TRUE(log.append_page(p, p + 1, pool));
+  }
+  // Next append needs a new segment; only the reserve remains.
+  EXPECT_FALSE(log.append_page(8, 9, pool));
+  pool.release(1);
+  EXPECT_TRUE(log.append_page(8, 9, pool));
+}
+
+TEST(ChunkLog, VictimSelectionPrefersGarbage) {
+  SegmentPool pool(16, 1);
+  ChunkLog log(64, 4);
+  // Fill segment 0 with pages 0-3, segment 1 with pages 4-7.
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    ASSERT_TRUE(log.append_page(p, p + 1, pool));
+  }
+  // Overwrite pages 0-2 (lands in segment 2): segment 0 is 75% garbage.
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE(log.append_page(p, 10 + p, pool));
+  }
+  const auto victim = log.pick_victim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->seq, 0u);
+  EXPECT_EQ(victim->live_pages, 1u);
+  EXPECT_NEAR(victim->garbage_ratio(), 0.75, 1e-12);
+}
+
+TEST(ChunkLog, CleanRelocatesLiveAndFrees) {
+  SegmentPool pool(16, 1);
+  ChunkLog log(64, 4);
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    ASSERT_TRUE(log.append_page(p, p + 1, pool));
+  }
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE(log.append_page(p, 10 + p, pool));
+  }
+  const auto free_before = pool.free_groups();
+  std::uint32_t moved = 0;
+  ASSERT_TRUE(log.clean_segment(0, pool, &moved));
+  EXPECT_EQ(moved, 1u);  // page 3 was the only live page in segment 0
+  EXPECT_GE(pool.free_groups(), free_before);
+  // Page 3 survives with its stamp.
+  EXPECT_TRUE(log.is_written(3));
+  EXPECT_EQ(log.page_stamp(3), 4u);
+  EXPECT_EQ(log.live_pages(), 8u);
+  // Cleaning the 75%-garbage victim shrank garbage.
+  EXPECT_LE(log.garbage_pages(), 1u);
+}
+
+TEST(ChunkLog, CleanEverythingReclaimsAllGarbage) {
+  SegmentPool pool(64, 2);
+  ChunkLog log(32, 4);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(log.append_page(static_cast<std::uint32_t>(rng.uniform_u64(32)),
+                                static_cast<WriteStamp>(i + 1), pool));
+  }
+  while (true) {
+    const auto victim = log.pick_victim();
+    if (!victim.has_value() || victim->garbage_ratio() <= 0.0) break;
+    ASSERT_TRUE(log.clean_segment(victim->seq, pool, nullptr));
+  }
+  // All that remains is live data plus at most one open segment's slack.
+  EXPECT_EQ(log.live_pages(), 32u);
+  EXPECT_LE(log.garbage_pages(), 4u);
+}
+
+}  // namespace
+}  // namespace uc::ebs

@@ -1,0 +1,80 @@
+// Tests for the page mapping's stamp-ordered update rule — the invariant
+// that lets host flushes, GC relocations, and stale program completions
+// race safely.
+
+#include <gtest/gtest.h>
+
+#include "ftl/mapping.h"
+
+namespace uc::ftl {
+namespace {
+
+TEST(PageMapping, StartsUnmapped) {
+  PageMapping m(16);
+  EXPECT_EQ(m.logical_pages(), 16u);
+  EXPECT_EQ(m.mapped_count(), 0u);
+  for (Lpn lpn = 0; lpn < 16; ++lpn) {
+    EXPECT_EQ(m.lookup(lpn), flash::kInvalidSpa);
+    EXPECT_FALSE(m.is_mapped(lpn));
+  }
+}
+
+TEST(PageMapping, UpdateMapsAndReturnsPrevious) {
+  PageMapping m(16);
+  auto r1 = m.update_if_newer(3, 100, 1);
+  EXPECT_TRUE(r1.applied);
+  EXPECT_EQ(r1.previous, flash::kInvalidSpa);
+  EXPECT_EQ(m.lookup(3), 100u);
+  EXPECT_EQ(m.stamp_of(3), 1u);
+  EXPECT_EQ(m.mapped_count(), 1u);
+
+  auto r2 = m.update_if_newer(3, 200, 2);
+  EXPECT_TRUE(r2.applied);
+  EXPECT_EQ(r2.previous, 100u);
+  EXPECT_EQ(m.lookup(3), 200u);
+  EXPECT_EQ(m.mapped_count(), 1u);
+}
+
+TEST(PageMapping, StaleUpdateLoses) {
+  PageMapping m(16);
+  ASSERT_TRUE(m.update_if_newer(5, 100, 10).applied);
+  const auto stale = m.update_if_newer(5, 200, 9);
+  EXPECT_FALSE(stale.applied);
+  EXPECT_EQ(m.lookup(5), 100u);
+  EXPECT_EQ(m.stamp_of(5), 10u);
+}
+
+TEST(PageMapping, EqualStampWins) {
+  // GC relocates data carrying its original stamp; the relocation must win
+  // over the stale physical location.
+  PageMapping m(16);
+  ASSERT_TRUE(m.update_if_newer(7, 100, 4).applied);
+  const auto reloc = m.update_if_newer(7, 300, 4);
+  EXPECT_TRUE(reloc.applied);
+  EXPECT_EQ(reloc.previous, 100u);
+  EXPECT_EQ(m.lookup(7), 300u);
+}
+
+TEST(PageMapping, TrimDefeatsInflightPrograms) {
+  PageMapping m(16);
+  ASSERT_TRUE(m.update_if_newer(2, 100, 5).applied);
+  // Trim with a fresh stamp unmaps...
+  EXPECT_EQ(m.unmap(2, 6), 100u);
+  EXPECT_FALSE(m.is_mapped(2));
+  EXPECT_EQ(m.mapped_count(), 0u);
+  // ...and an older in-flight program must NOT resurrect the page.
+  EXPECT_FALSE(m.update_if_newer(2, 400, 5).applied);
+  EXPECT_FALSE(m.is_mapped(2));
+  // A genuinely newer write maps again.
+  EXPECT_TRUE(m.update_if_newer(2, 500, 7).applied);
+  EXPECT_EQ(m.mapped_count(), 1u);
+}
+
+TEST(PageMapping, UnmapOfUnmappedIsNoop) {
+  PageMapping m(4);
+  EXPECT_EQ(m.unmap(1, 1), flash::kInvalidSpa);
+  EXPECT_EQ(m.mapped_count(), 0u);
+}
+
+}  // namespace
+}  // namespace uc::ftl

@@ -1,0 +1,111 @@
+// Tests for the DRAM write buffer: coalescing, FIFO flush batching,
+// in-flight copy accounting, backpressure, and trim discard semantics.
+
+#include <gtest/gtest.h>
+
+#include "ftl/write_buffer.h"
+
+namespace uc::ftl {
+namespace {
+
+TEST(WriteBuffer, InsertAndReadLookup) {
+  WriteBuffer wb(8);
+  EXPECT_TRUE(wb.try_insert(10, 1));
+  EXPECT_EQ(wb.dirty_slots(), 1u);
+  EXPECT_EQ(wb.occupied_slots(), 1u);
+  ASSERT_TRUE(wb.read_lookup(10).has_value());
+  EXPECT_EQ(*wb.read_lookup(10), 1u);
+  EXPECT_FALSE(wb.read_lookup(11).has_value());
+}
+
+TEST(WriteBuffer, OverwriteCoalescesInPlace) {
+  WriteBuffer wb(8);
+  ASSERT_TRUE(wb.try_insert(10, 1));
+  ASSERT_TRUE(wb.try_insert(10, 2));
+  EXPECT_EQ(wb.dirty_slots(), 1u);  // still one copy
+  EXPECT_EQ(*wb.read_lookup(10), 2u);
+}
+
+TEST(WriteBuffer, FullBufferRejects) {
+  WriteBuffer wb(2);
+  ASSERT_TRUE(wb.try_insert(1, 1));
+  ASSERT_TRUE(wb.try_insert(2, 2));
+  EXPECT_FALSE(wb.try_insert(3, 3));
+  // Overwriting a buffered page still works at capacity.
+  EXPECT_TRUE(wb.try_insert(1, 4));
+}
+
+TEST(WriteBuffer, FlushBatchIsFifoAndMarksInflight) {
+  WriteBuffer wb(8);
+  for (Lpn l = 0; l < 4; ++l) ASSERT_TRUE(wb.try_insert(l, l + 1));
+  std::vector<FlushItem> batch;
+  EXPECT_EQ(wb.take_flush_batch(3, batch), 3u);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].lpn, 0u);
+  EXPECT_EQ(batch[1].lpn, 1u);
+  EXPECT_EQ(batch[2].lpn, 2u);
+  EXPECT_EQ(wb.dirty_slots(), 1u);
+  EXPECT_EQ(wb.occupied_slots(), 4u);  // in-flight copies still occupy
+  // Reads still hit in-flight copies.
+  EXPECT_TRUE(wb.read_lookup(0).has_value());
+
+  wb.batch_programmed(batch);
+  EXPECT_EQ(wb.occupied_slots(), 1u);
+  EXPECT_FALSE(wb.read_lookup(0).has_value());
+  EXPECT_TRUE(wb.read_lookup(3).has_value());
+}
+
+TEST(WriteBuffer, OverwriteWhileInflightKeepsNewest) {
+  WriteBuffer wb(8);
+  ASSERT_TRUE(wb.try_insert(5, 1));
+  std::vector<FlushItem> batch;
+  ASSERT_EQ(wb.take_flush_batch(1, batch), 1u);
+  // New write arrives while the old copy is being programmed.
+  ASSERT_TRUE(wb.try_insert(5, 2));
+  EXPECT_EQ(*wb.read_lookup(5), 2u);
+  EXPECT_EQ(wb.occupied_slots(), 2u);  // in-flight + dirty
+  wb.batch_programmed(batch);
+  EXPECT_EQ(wb.occupied_slots(), 1u);
+  EXPECT_EQ(*wb.read_lookup(5), 2u);  // newest copy survives
+  // The newest copy flushes with its own stamp.
+  batch.clear();
+  ASSERT_EQ(wb.take_flush_batch(1, batch), 1u);
+  EXPECT_EQ(batch[0].stamp, 2u);
+}
+
+TEST(WriteBuffer, DiscardDropsDirtyCopy) {
+  WriteBuffer wb(8);
+  ASSERT_TRUE(wb.try_insert(7, 1));
+  wb.discard(7);
+  EXPECT_FALSE(wb.read_lookup(7).has_value());
+  EXPECT_EQ(wb.occupied_slots(), 0u);
+  EXPECT_EQ(wb.dirty_slots(), 0u);
+  // The stale FIFO entry must not break later flushes.
+  std::vector<FlushItem> batch;
+  EXPECT_EQ(wb.take_flush_batch(4, batch), 0u);
+}
+
+TEST(WriteBuffer, DiscardHidesInflightCopyFromReads) {
+  WriteBuffer wb(8);
+  ASSERT_TRUE(wb.try_insert(7, 1));
+  std::vector<FlushItem> batch;
+  ASSERT_EQ(wb.take_flush_batch(1, batch), 1u);
+  wb.discard(7);
+  EXPECT_FALSE(wb.read_lookup(7).has_value());
+  // A rewrite revives the entry.
+  ASSERT_TRUE(wb.try_insert(7, 3));
+  EXPECT_EQ(*wb.read_lookup(7), 3u);
+  wb.batch_programmed(batch);
+  EXPECT_EQ(*wb.read_lookup(7), 3u);
+}
+
+TEST(WriteBuffer, HasSpaceAccounting) {
+  WriteBuffer wb(4);
+  EXPECT_TRUE(wb.has_space(4));
+  for (Lpn l = 0; l < 3; ++l) ASSERT_TRUE(wb.try_insert(l, l + 1));
+  EXPECT_TRUE(wb.has_space(1));
+  EXPECT_FALSE(wb.has_space(2));
+}
+
+}  // namespace
+}  // namespace uc::ftl

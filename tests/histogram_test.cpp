@@ -1,0 +1,135 @@
+// Tests for the HDR-style latency histogram, including a property sweep
+// checking percentile accuracy against exact order statistics within the
+// structure's guaranteed relative error.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace uc {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (SimTime v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 31.5, 1.0);
+}
+
+TEST(Histogram, TracksMeanSumExactly) {
+  LatencyHistogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+}
+
+TEST(Histogram, RecordNWeightsSamples) {
+  LatencyHistogram h;
+  h.record_n(1000, 99);
+  h.record_n(1000000, 1);
+  EXPECT_EQ(h.count(), 100u);
+  // P50 in the low bucket, P99.5+ near the high value.
+  EXPECT_LT(h.percentile(50), 1100u);
+  EXPECT_GT(h.percentile(99.9), 900000u);
+}
+
+TEST(Histogram, MergeCombines) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) a.record(10000);
+  for (int i = 0; i < 100; ++i) b.record(90000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10000u);
+  EXPECT_EQ(a.max(), 90000u);
+  EXPECT_NEAR(a.mean(), 50000.0, 1.0);
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(123456);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+TEST(Histogram, StddevMatchesTwoPointDistribution) {
+  LatencyHistogram h;
+  h.record_n(0, 50);
+  h.record_n(1000, 50);
+  EXPECT_NEAR(h.stddev(), 500.0, 1.0);
+}
+
+TEST(Histogram, HugeValuesDoNotOverflowBuckets) {
+  LatencyHistogram h;
+  h.record(~static_cast<SimTime>(0) / 2);
+  h.record(~static_cast<SimTime>(0));
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~static_cast<SimTime>(0));
+  EXPECT_GE(h.percentile(99), ~static_cast<SimTime>(0) / 2);
+}
+
+TEST(Histogram, SummaryMentionsKeyStats) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(50000);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=1000"), std::string::npos);
+  EXPECT_NE(s.find("avg=50.0us"), std::string::npos);
+}
+
+// Property: for random sample sets, every queried percentile must match the
+// exact order statistic within the structure's relative error (1/64 per
+// bucket, plus interpolation slack).
+class HistogramAccuracy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramAccuracy, PercentilesMatchSortedReference) {
+  Rng rng(GetParam());
+  LatencyHistogram h;
+  std::vector<SimTime> values;
+  const int n = 20000;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Mix of microsecond and millisecond scales, like real latency data.
+    const SimTime v = rng.bernoulli(0.9)
+                          ? rng.uniform_range(5000, 200000)
+                          : rng.uniform_range(1000000, 50000000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const auto exact =
+        values[static_cast<std::size_t>(p / 100.0 * (n - 1))];
+    const auto approx = h.percentile(p);
+    const double rel_err =
+        std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    EXPECT_LT(rel_err, 0.04) << "p=" << p << " exact=" << exact
+                             << " approx=" << approx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracy,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 123, 999));
+
+}  // namespace
+}  // namespace uc

@@ -1,0 +1,115 @@
+// Integration tests: scaled-down versions of the paper's figure pipelines
+// running end-to-end through the characterization suite, asserting the
+// qualitative claims each figure makes.
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "contract/observations.h"
+#include "contract/suite.h"
+#include "essd/essd_device.h"
+#include "ssd/ssd_device.h"
+
+namespace uc::contract {
+namespace {
+
+using namespace units;
+
+DeviceFactory ssd_factory(std::uint64_t cap) {
+  return [cap](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+    return std::make_unique<ssd::SsdDevice>(sim,
+                                            ssd::samsung_970pro_scaled(cap));
+  };
+}
+
+DeviceFactory essd1_factory(std::uint64_t cap) {
+  return [cap](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+    return std::make_unique<essd::EssdDevice>(sim, essd::aws_io2_profile(cap));
+  };
+}
+
+DeviceFactory essd2_factory(std::uint64_t cap) {
+  return [cap](sim::Simulator& sim) -> std::unique_ptr<BlockDevice> {
+    return std::make_unique<essd::EssdDevice>(sim,
+                                              essd::alibaba_pl3_profile(cap));
+  };
+}
+
+SuiteConfig mini_config() {
+  SuiteConfig cfg;
+  cfg.sizes = {4096, 262144};
+  cfg.queue_depths = {1, 16};
+  cfg.ops_per_cell = 500;
+  cfg.region_bytes = 256 * kMiB;
+  cfg.settle_time = 3 * kSec;
+  return cfg;
+}
+
+// Figure 2 in miniature: the gap is large at 4 KiB QD1, collapses at
+// 256 KiB QD16, and random reads show the smallest gap.
+TEST(Integration, Fig2LatencyGapShapes) {
+  const CharacterizationSuite suite(mini_config());
+  const auto essd = suite.run_latency_study(essd1_factory(1 * kGiB));
+  const auto ssd = suite.run_latency_study(ssd_factory(1 * kGiB));
+  const auto obs1 = evaluate_obs1(essd, ssd);
+  EXPECT_TRUE(obs1.holds);
+  EXPECT_GT(obs1.max_avg_gap, 20.0);
+  EXPECT_GT(obs1.gap_at_smallest, 10.0);
+  EXPECT_LT(obs1.gap_at_largest, 5.0);
+  EXPECT_LT(obs1.random_read_max_gap, obs1.other_max_gap);
+}
+
+// Figure 3 in miniature: the SSD cliffs within ~2x capacity; ESSD-2 stays
+// flat.  (The SSD needs several GiB so its 8-superblock spare floor is a
+// realistic ~18% of capacity rather than a cliff-proof 36%.)
+TEST(Integration, Fig3GcCliffShapes) {
+  const CharacterizationSuite suite(mini_config());
+  const auto ssd_run = suite.run_gc_timeline(ssd_factory(8 * kGiB), 2.5);
+  const auto essd_run = suite.run_gc_timeline(essd2_factory(1 * kGiB), 2.5);
+  const auto obs2 = evaluate_obs2(essd_run, ssd_run);
+  EXPECT_TRUE(obs2.reference_cliff.found);
+  EXPECT_LT(obs2.reference_cliff.at_capacity_multiple, 2.2);
+  EXPECT_FALSE(obs2.target_cliff.found);
+  EXPECT_TRUE(obs2.holds);
+  // The SSD's post-cliff throughput is a small fraction of its plateau.
+  EXPECT_LT(obs2.reference_cliff.post_gbs,
+            0.5 * obs2.reference_cliff.plateau_gbs);
+}
+
+// Figure 4 in miniature: ESSD-2 gains >2x from random writes, the SSD
+// does not gain.  The random job must span enough chunks (a 1 GiB region
+// = 16 chunks) for the fan-out advantage to materialize.
+TEST(Integration, Fig4PatternGainShapes) {
+  SuiteConfig cfg = mini_config();
+  cfg.region_bytes = 1 * kGiB;
+  const CharacterizationSuite suite(cfg);
+  const auto essd_gain = suite.run_pattern_gain(essd2_factory(1 * kGiB),
+                                                {65536}, {16, 32},
+                                                units::kSec / 2);
+  const auto ssd_gain = suite.run_pattern_gain(ssd_factory(1 * kGiB), {65536},
+                                               {16, 32}, units::kSec / 2);
+  const auto obs3 = evaluate_obs3(essd_gain, ssd_gain);
+  EXPECT_TRUE(obs3.holds);
+  EXPECT_GT(obs3.target_max_gain, 1.8);
+  EXPECT_LT(obs3.reference_max_gain, 1.2);
+}
+
+// Figure 5 in miniature: ESSD-1 pins at ~3 GB/s for 0/50/100% write
+// ratios; the SSD varies.
+TEST(Integration, Fig5BudgetDeterminismShapes) {
+  SuiteConfig cfg = mini_config();
+  cfg.region_bytes = 512 * kMiB;
+  const CharacterizationSuite suite(cfg);
+  const auto essd_scan =
+      suite.run_budget_scan(essd1_factory(1 * kGiB), 262144, 32, 50, kSec);
+  const auto ssd_scan =
+      suite.run_budget_scan(ssd_factory(1 * kGiB), 262144, 32, 50, kSec);
+  const auto obs4 = evaluate_obs4(essd_scan, ssd_scan, 3.0);
+  EXPECT_TRUE(obs4.holds) << "target cv " << obs4.target_cv << " ref cv "
+                          << obs4.reference_cv;
+  EXPECT_NEAR(obs4.target_mean_gbs, 3.0, 0.4);
+  EXPECT_GT(obs4.reference_max_gbs, obs4.reference_min_gbs * 1.2);
+}
+
+}  // namespace
+}  // namespace uc::contract

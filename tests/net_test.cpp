@@ -1,0 +1,79 @@
+// Tests for the datacenter fabric: NIC serialization, hop latency, and
+// contention between concurrent transfers.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/fabric.h"
+
+namespace uc::net {
+namespace {
+
+FabricConfig deterministic_config() {
+  FabricConfig cfg;
+  cfg.nodes = 4;
+  cfg.vm_nic_mbps = 1000.0;    // 1 ns/byte
+  cfg.node_nic_mbps = 1000.0;
+  cfg.hop = sim::LatencyModelConfig{.base_us = 20.0};  // no jitter
+  return cfg;
+}
+
+TEST(Fabric, ToNodeTimesAddUp) {
+  Fabric fabric(deterministic_config(), Rng(1));
+  // 4096 bytes: vm egress 4096 ns + hop 20000 ns + node ingress 4096 ns.
+  EXPECT_EQ(fabric.to_node(0, 2, 4096), 4096u + 20000u + 4096u);
+  EXPECT_EQ(fabric.vm_tx_bytes(), 4096u);
+}
+
+TEST(Fabric, ToVmMirrorsPath) {
+  Fabric fabric(deterministic_config(), Rng(1));
+  EXPECT_EQ(fabric.to_vm(0, 1, 8192), 8192u + 20000u + 8192u);
+  EXPECT_EQ(fabric.vm_rx_bytes(), 8192u);
+}
+
+TEST(Fabric, VmEgressSerializesFanOut) {
+  Fabric fabric(deterministic_config(), Rng(1));
+  // Three replica sends of the same payload: egress serializes them even
+  // though destination nodes differ.
+  const SimTime t1 = fabric.to_node(0, 0, 10000);
+  const SimTime t2 = fabric.to_node(0, 1, 10000);
+  const SimTime t3 = fabric.to_node(0, 2, 10000);
+  EXPECT_EQ(t1, 10000u + 20000u + 10000u);
+  EXPECT_EQ(t2, t1 + 10000u);
+  EXPECT_EQ(t3, t2 + 10000u);
+}
+
+TEST(Fabric, NodeIngressIsPerNode) {
+  Fabric fabric(deterministic_config(), Rng(1));
+  fabric.to_node(0, 0, 100000);
+  // A transfer to a different node does not queue behind node 0's ingress,
+  // only behind the shared VM egress.
+  const SimTime t = fabric.to_node(0, 1, 1000);
+  EXPECT_EQ(t, 100000u + 1000u + 20000u + 1000u);
+}
+
+TEST(Fabric, DirectionsAreIndependent) {
+  Fabric fabric(deterministic_config(), Rng(1));
+  fabric.to_node(0, 0, 1000000);  // large upstream transfer
+  // Downstream is unaffected (full duplex).
+  EXPECT_EQ(fabric.to_vm(0, 0, 4096), 4096u + 20000u + 4096u);
+}
+
+TEST(Fabric, JitterIsSeedDeterministic) {
+  FabricConfig cfg = deterministic_config();
+  cfg.hop.sigma = 0.3;
+  Fabric a(cfg, Rng(42));
+  Fabric b(cfg, Rng(42));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.hop_latency(), b.hop_latency());
+  }
+}
+
+TEST(Fabric, RejectsBadNodeIndex) {
+  Fabric fabric(deterministic_config(), Rng(1));
+  EXPECT_EQ(fabric.nodes(), 4);
+  EXPECT_DEATH(fabric.to_node(0, 4, 100), "node out of range");
+}
+
+}  // namespace
+}  // namespace uc::net

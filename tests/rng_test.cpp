@@ -1,0 +1,169 @@
+// Tests for the deterministic RNG and its distributions.  Determinism
+// matters more than statistical perfection here: every experiment in the
+// library must replay bit-identically from its seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace uc {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(7);
+  parent2.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIsInRangeAndRoughlyFlat) {
+  Rng rng(99);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    ++buckets[static_cast<int>(u * 10)];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(3);
+  const std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = rng.uniform_u64(n);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, draws / static_cast<int>(n), 600);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_range(5, 8);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 8u);
+    saw_lo = saw_lo || v == 5;
+    saw_hi = saw_hi || v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, LognormalUnitMeanIsUnitMean) {
+  Rng rng(6);
+  for (const double sigma : {0.1, 0.3, 0.8}) {
+    double sum = 0.0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i) sum += rng.lognormal_unit_mean(sigma);
+    EXPECT_NEAR(sum / n, 1.0, 0.02) << "sigma=" << sigma;
+  }
+  // sigma=0 must be exactly deterministic.
+  EXPECT_DOUBLE_EQ(rng.lognormal_unit_mean(0.0), 1.0);
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Rng rng(8);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+// Property sweep: zipf respects its domain and produces the expected skew
+// (hotter ranks strictly more likely) for a range of thetas.
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, SkewAndDomain) {
+  const double theta = GetParam();
+  Rng rng(42);
+  ZipfGenerator zipf(1000, theta);
+  std::vector<int> counts(1000, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = zipf.next(rng);
+    ASSERT_LT(v, 1000u);
+    ++counts[v];
+  }
+  // Rank 0 is the hottest, and the head outweighs the tail.
+  EXPECT_GT(counts[0], counts[500]);
+  int head = 0;
+  int tail = 0;
+  for (int i = 0; i < 100; ++i) head += counts[i];
+  for (int i = 900; i < 1000; ++i) tail += counts[i];
+  EXPECT_GT(head, tail * 2) << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfTest,
+                         ::testing::Values(0.5, 0.9, 0.99, 1.2));
+
+TEST(Zipf, SingleElementDomain) {
+  Rng rng(1);
+  ZipfGenerator zipf(1, 0.99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.next(rng), 0u);
+}
+
+}  // namespace
+}  // namespace uc

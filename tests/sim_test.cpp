@@ -1,0 +1,148 @@
+// Tests for the discrete-event kernel: ordering, FIFO tie-breaking,
+// cancellation, bounded runs — and the contention resources and stochastic
+// latency model built on top of it.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/latency_model.h"
+#include "sim/resources.h"
+#include "sim/simulator.h"
+
+namespace uc::sim {
+namespace {
+
+using namespace units;
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(500, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_after(10, chain);
+  };
+  sim.schedule_after(10, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(100, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockAndStops) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.schedule_at(2000, [&] { ++fired; });
+  sim.run_until(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 1000u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunWhileStopsOnPredicate) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(static_cast<SimTime>(i * 10), [&] { ++fired; });
+  }
+  sim.run_while([&] { return fired < 3; });
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SerialResource, SerializesBackToBack) {
+  SerialResource r;
+  EXPECT_EQ(r.acquire(0, 100), 100u);
+  EXPECT_EQ(r.acquire(0, 100), 200u);   // queued behind the first
+  EXPECT_EQ(r.acquire(500, 100), 600u); // idle gap, starts immediately
+  EXPECT_EQ(r.busy_time(), 300u);
+}
+
+TEST(BandwidthPipe, TransferTimeMatchesRate) {
+  BandwidthPipe pipe(1000.0);  // 1000 MB/s -> 1 ns/byte
+  EXPECT_EQ(pipe.transfer_time(4096), 4096u);
+  EXPECT_EQ(pipe.transfer(0, 4096), 4096u);
+  // Second transfer queues.
+  EXPECT_EQ(pipe.transfer(0, 4096), 8192u);
+}
+
+TEST(MultiServer, ParallelThenQueues) {
+  MultiServer servers(2);
+  EXPECT_EQ(servers.acquire(0, 100), 100u);
+  EXPECT_EQ(servers.acquire(0, 100), 100u);  // second server
+  EXPECT_EQ(servers.acquire(0, 100), 200u);  // queues on earliest free
+}
+
+TEST(LatencyModel, DeterministicWithoutJitter) {
+  LatencyModel model(LatencyModelConfig{.base_us = 10.0, .per_byte_ns = 2.0});
+  Rng rng(1);
+  EXPECT_EQ(model.floor_ns(1000), 12000u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(model.sample(rng, 1000), 12000u);
+  }
+}
+
+TEST(LatencyModel, JitterPreservesMean) {
+  LatencyModel model(LatencyModelConfig{.base_us = 100.0, .sigma = 0.3});
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(model.sample(rng, 0));
+  }
+  EXPECT_NEAR(sum / n, 100000.0, 1500.0);
+}
+
+TEST(LatencyModel, SpikesInflateTail) {
+  LatencyModel base(LatencyModelConfig{.base_us = 100.0, .sigma = 0.1});
+  LatencyModel spiky(LatencyModelConfig{.base_us = 100.0,
+                                        .sigma = 0.1,
+                                        .spike_prob = 0.005,
+                                        .spike_mean_us = 2000.0});
+  Rng rng(3);
+  SimTime base_max = 0;
+  SimTime spiky_max = 0;
+  for (int i = 0; i < 20000; ++i) {
+    base_max = std::max(base_max, base.sample(rng, 0));
+    spiky_max = std::max(spiky_max, spiky.sample(rng, 0));
+  }
+  EXPECT_LT(base_max, 300 * kUs);
+  EXPECT_GT(spiky_max, 1000 * kUs);
+}
+
+}  // namespace
+}  // namespace uc::sim

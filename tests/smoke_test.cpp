@@ -1,0 +1,69 @@
+// Smoke test: builds one scaled SSD, writes and reads through the full
+// FTL/flash stack, and checks basic latency plausibility plus end-to-end
+// mapping integrity.  The real per-module suites live in the sibling files.
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "ssd/ssd_device.h"
+
+namespace uc {
+namespace {
+
+using namespace units;
+
+TEST(Smoke, WriteThenReadCompletesWithPlausibleLatency) {
+  sim::Simulator sim;
+  auto cfg = ssd::samsung_970pro_scaled(4 * kGiB);
+  ssd::SsdDevice dev(sim, cfg);
+
+  bool write_done = false;
+  SimTime write_latency = 0;
+  dev.submit(IoRequest{1, IoOp::kWrite, 0, 4096},
+             [&](const IoResult& r) {
+               write_done = true;
+               write_latency = r.latency();
+             });
+  sim.run();
+  ASSERT_TRUE(write_done);
+  // Buffered write: ~10 us, certainly below 50 us and above 1 us.
+  EXPECT_GT(write_latency, 1 * kUs);
+  EXPECT_LT(write_latency, 50 * kUs);
+
+  bool read_done = false;
+  SimTime read_latency = 0;
+  dev.submit(IoRequest{2, IoOp::kRead, 0, 4096},
+             [&](const IoResult& r) {
+               read_done = true;
+               read_latency = r.latency();
+             });
+  sim.run();
+  ASSERT_TRUE(read_done);
+  // Data still in the write buffer: DRAM-speed read.
+  EXPECT_LT(read_latency, 50 * kUs);
+}
+
+TEST(Smoke, FlushDrainsBufferAndIntegrityHolds) {
+  sim::Simulator sim;
+  auto cfg = ssd::samsung_970pro_scaled(4 * kGiB);
+  ssd::SsdDevice dev(sim, cfg);
+
+  int completions = 0;
+  for (int i = 0; i < 64; ++i) {
+    dev.submit(IoRequest{static_cast<IoId>(i), IoOp::kWrite,
+                         static_cast<ByteOffset>(i) * 64 * kKiB, 64 * 1024},
+               [&](const IoResult&) { ++completions; });
+  }
+  bool flushed = false;
+  dev.submit(IoRequest{1000, IoOp::kFlush, 0, 0},
+             [&](const IoResult&) { flushed = true; });
+  sim.run();
+  EXPECT_EQ(completions, 64);
+  ASSERT_TRUE(flushed);
+  EXPECT_TRUE(dev.ftl().write_buffer_empty());
+  EXPECT_TRUE(dev.ftl().check_integrity().is_ok());
+}
+
+}  // namespace
+}  // namespace uc
