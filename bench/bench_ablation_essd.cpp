@@ -4,7 +4,9 @@
 // factor — which multiplies fan-out cost; and (c) cleaner bandwidth vs
 // spare-pool size — which decides whether a Figure-3 cliff exists at all.
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "common/strfmt.h"

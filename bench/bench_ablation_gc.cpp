@@ -4,7 +4,9 @@
 // amplification, sustained random-write throughput, and the GC-cliff
 // position — the knobs that place the SSD curve in Figure 3.
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "common/strfmt.h"

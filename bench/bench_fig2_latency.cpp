@@ -5,6 +5,7 @@
 // cell format as the paper's heatmaps.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "contract/report.h"

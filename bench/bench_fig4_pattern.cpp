@@ -4,7 +4,9 @@
 // ESSD-2 reaches ~2.8x across a wide size range, and the local SSD shows
 // no meaningful difference (GC-free).
 
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "contract/report.h"

@@ -4,6 +4,7 @@
 // (Paper §III-B: "scale the I/O sizes and I/O queue depths up as much as
 // possible"; at full scale ESSD-1 even beats the local SSD's P99.9.)
 
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_util.h"

@@ -8,6 +8,7 @@
 // ESSD random writes are *faster* than sequential and GC is already hidden,
 // so the conversion only adds compaction traffic (paper §III-D).
 
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_util.h"

@@ -5,7 +5,10 @@
 // smoother, and reports tail latency — showing that a smoothed workload
 // rides a much cheaper budget at comparable tails.
 
+#include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/strfmt.h"

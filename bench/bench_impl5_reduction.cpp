@@ -4,7 +4,9 @@
 // invisible, while the byte savings stretch the provisioned budget —
 // turning a known pessimization into a win (paper §III-E).
 
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "common/strfmt.h"

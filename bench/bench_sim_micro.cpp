@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/token_bucket.h"

@@ -2,6 +2,8 @@
 // bandwidth and IOPS for the two ESSD profiles and the local-SSD reference,
 // and the 4 KiB QD1 latency anchors the Figure 2 gaps divide by.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_util.h"

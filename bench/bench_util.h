@@ -9,6 +9,8 @@
 /// GC/cleaning cliffs are reported in multiples of capacity, which is
 /// scale-free.
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "common/strfmt.h"
 #include "common/table.h"

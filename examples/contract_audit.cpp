@@ -6,8 +6,10 @@
 //   $ ./contract_audit            # quick grids (seconds)
 //   $ ./contract_audit --full     # paper-scale grids (minutes)
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "common/units.h"
 #include "contract/checker.h"

@@ -12,7 +12,9 @@
 // already hidden (Observations 2-3) — the compaction traffic is pure
 // overhead, and in-place random updates win (Implication 3).
 
+#include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 
 #include "common/strfmt.h"

@@ -6,6 +6,7 @@
 //
 // See examples/contract_audit.cpp for the full automated contract check.
 
+#include <cstdint>
 #include <cstdio>
 
 #include "common/strfmt.h"

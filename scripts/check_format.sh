@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Verifies that all first-party C++ sources satisfy .clang-format.
+# Usage: scripts/check_format.sh [--fix]
+# Set CHECK_FORMAT_STRICT=1 (CI does) to fail when clang-format is missing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  for candidate in clang-format clang-format-18 clang-format-17 clang-format-16 clang-format-15; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      CLANG_FORMAT="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  if [[ "${CHECK_FORMAT_STRICT:-0}" == "1" ]]; then
+    echo "error: clang-format not found and CHECK_FORMAT_STRICT=1" >&2
+    exit 1
+  fi
+  echo "warning: clang-format not found; skipping format check" >&2
+  exit 0
+fi
+
+# Portable across bash 3.2 (macOS) — no mapfile.
+files=()
+while IFS= read -r f; do
+  files+=("$f")
+done < <(find src tests bench examples -name '*.cpp' -o -name '*.h' | sort)
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "${CLANG_FORMAT}" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+  exit 0
+fi
+
+if ! "${CLANG_FORMAT}" --dry-run --Werror "${files[@]}"; then
+  echo "run scripts/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "all ${#files[@]} files formatted"

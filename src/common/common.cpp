@@ -1,5 +1,8 @@
 #include <cinttypes>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "common/block_device.h"
 #include "common/status.h"

@@ -1,5 +1,8 @@
 #include "common/rng.h"
 
+#include <cmath>
+#include <cstdint>
+
 namespace uc {
 
 // Rejection-inversion sampling for the Zipf distribution, following

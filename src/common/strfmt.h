@@ -4,6 +4,7 @@
 /// printf-style std::string formatting (GCC 12 lacks std::format).
 
 #include <cstdarg>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 

@@ -1,6 +1,10 @@
 #include "common/table.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 

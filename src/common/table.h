@@ -4,6 +4,7 @@
 /// ASCII table renderer used by the benchmark harness to print paper-style
 /// tables and heatmap grids on a terminal.
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,5 +1,9 @@
 #include "common/timeline.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "common/status.h"
 
 namespace uc {

@@ -1,5 +1,9 @@
 #include "contract/checker.h"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "common/strfmt.h"
 #include "common/units.h"
 

@@ -12,6 +12,7 @@
 /// different simulator) and it answers "does this device behave like a
 /// cloud ESSD, and how should software on it be written?".
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,10 @@
 #include "contract/observations.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/status.h"

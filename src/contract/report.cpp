@@ -1,6 +1,11 @@
 #include "contract/report.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/strfmt.h"
 #include "common/table.h"

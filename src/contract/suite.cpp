@@ -1,6 +1,10 @@
 #include "contract/suite.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace uc::contract {
 

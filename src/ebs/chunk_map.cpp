@@ -1,6 +1,10 @@
 #include "ebs/chunk_map.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 namespace uc::ebs {
 

@@ -1,5 +1,8 @@
 #include "ebs/cleaner.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace uc::ebs {
 
 Cleaner::Cleaner(sim::Simulator& sim, const CleanerConfig& cfg,

@@ -1,6 +1,11 @@
 #include "ebs/cluster.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
 
 #include "common/units.h"
 

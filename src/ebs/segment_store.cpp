@@ -1,5 +1,9 @@
 #include "ebs/segment_store.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
 namespace uc::ebs {
 
 SegmentPool::SegmentPool(std::uint64_t total_groups,

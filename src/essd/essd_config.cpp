@@ -1,5 +1,7 @@
 #include "essd/essd_config.h"
 
+#include <cstdint>
+
 #include "common/units.h"
 
 namespace uc::essd {

@@ -1,6 +1,9 @@
 #include "essd/essd_device.h"
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 
 namespace uc::essd {
 

@@ -10,6 +10,7 @@
 /// differently it behaves.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "common/block_device.h"

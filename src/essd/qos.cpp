@@ -1,6 +1,9 @@
 #include "essd/qos.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
 
 namespace uc::essd {
 

@@ -1,5 +1,8 @@
 #include "flash/nand_array.h"
 
+#include <cstddef>
+#include <cstdint>
+
 namespace uc::flash {
 
 NandArray::NandArray(const FlashGeometry& geometry, const FlashTiming& timing,

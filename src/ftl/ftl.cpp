@@ -1,7 +1,13 @@
 #include "ftl/ftl.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/strfmt.h"
 

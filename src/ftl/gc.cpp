@@ -1,5 +1,10 @@
 #include "ftl/gc.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace uc::ftl {
 
 GcController::GcController(sim::Simulator& sim, flash::NandArray& nand,

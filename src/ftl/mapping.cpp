@@ -1,5 +1,7 @@
 #include "ftl/mapping.h"
 
+#include <cstdint>
+
 namespace uc::ftl {
 
 PageMapping::PageMapping(std::uint64_t logical_pages)

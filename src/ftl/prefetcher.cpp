@@ -1,6 +1,9 @@
 #include "ftl/prefetcher.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
 
 namespace uc::ftl {
 

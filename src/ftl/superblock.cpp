@@ -1,5 +1,10 @@
 #include "ftl/superblock.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 namespace uc::ftl {
 
 SuperblockManager::SuperblockManager(const flash::FlashGeometry& geometry)

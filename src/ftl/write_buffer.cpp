@@ -1,5 +1,9 @@
 #include "ftl/write_buffer.h"
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 namespace uc::ftl {
 
 WriteBuffer::WriteBuffer(std::uint32_t capacity_slots)

@@ -1,5 +1,8 @@
 #include "net/fabric.h"
 
+#include <cstddef>
+#include <cstdint>
+
 namespace uc::net {
 
 Fabric::Fabric(const FabricConfig& cfg, Rng rng)

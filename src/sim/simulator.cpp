@@ -1,5 +1,8 @@
 #include "sim/simulator.h"
 
+#include <functional>
+#include <utility>
+
 namespace uc::sim {
 
 EventId Simulator::schedule_at(SimTime t, Callback cb) {

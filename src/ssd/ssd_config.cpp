@@ -1,5 +1,8 @@
 #include "ssd/ssd_config.h"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/units.h"
 
 namespace uc::ssd {

@@ -1,5 +1,9 @@
 #include "ssd/ssd_device.h"
 
+#include <cstdint>
+#include <memory>
+#include <utility>
+
 namespace uc::ssd {
 
 SsdDevice::SsdDevice(sim::Simulator& sim, const SsdConfig& cfg)

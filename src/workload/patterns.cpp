@@ -1,5 +1,7 @@
 #include "workload/patterns.h"
 
+#include <cstdint>
+
 namespace uc::wl {
 
 OffsetGenerator::OffsetGenerator(AccessPattern pattern,

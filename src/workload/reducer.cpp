@@ -1,5 +1,8 @@
 #include "workload/reducer.h"
 
+#include <cstdint>
+#include <utility>
+
 #include "common/status.h"
 
 namespace uc::wl {

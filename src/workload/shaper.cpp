@@ -1,5 +1,7 @@
 #include "workload/shaper.h"
 
+#include <utility>
+
 namespace uc::wl {
 
 SmoothingDevice::SmoothingDevice(sim::Simulator& sim, BlockDevice& inner,

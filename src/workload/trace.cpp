@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/strfmt.h"
 

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "common/block_device.h"
 #include "common/stats.h"
 #include "common/status.h"

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <string>
+
 #include "common/units.h"
 #include "contract/checker.h"
 #include "contract/observations.h"

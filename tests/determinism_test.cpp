@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/units.h"
 #include "essd/essd_device.h"
 #include "ssd/ssd_device.h"

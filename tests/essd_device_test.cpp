@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/units.h"
 #include "essd/essd_device.h"
 #include "workload/runner.h"

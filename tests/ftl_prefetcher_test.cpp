@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/lru_cache.h"
 #include "ftl/prefetcher.h"
 

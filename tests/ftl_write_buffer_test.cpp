@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "ftl/write_buffer.h"
 
 namespace uc::ftl {

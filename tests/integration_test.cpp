@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+
 #include "common/units.h"
 #include "contract/observations.h"
 #include "contract/suite.h"

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "common/units.h"
 #include "ssd/ssd_device.h"
 #include "workload/reducer.h"

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/units.h"
 #include "contract/suite.h"
 #include "ssd/ssd_device.h"

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+
 #include "common/rng.h"
 #include "common/timeline.h"
 #include "common/token_bucket.h"

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "common/units.h"
 #include "ssd/ssd_device.h"
