@@ -1,0 +1,109 @@
+// Multi-tenant colocation study: runs the four canned tenant scenarios
+// (noisy-neighbour, fair-share, cleaner-pressure, burst-collision) on a
+// shared StorageCluster, prints per-tenant fairness tables, and emits the
+// shared JSON schema with --json <path>.
+//
+// The headline checks mirror the subsystem's acceptance criteria: the
+// noisy-neighbour victims' colocated p99 must be >= 2x their solo baseline,
+// and fair-share must hold a Jain index >= 0.95.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tenant/scenarios.h"
+
+namespace uc {
+namespace {
+
+bench::Json tenant_json(const tenant::TenantMetrics& m) {
+  bench::Json t = bench::Json::object();
+  t.set("name", m.name);
+  t.set("ops", m.ops);
+  t.set("gbs", m.throughput_gbs);
+  t.set("share", m.share);
+  t.set("p50_us", m.p50_us);
+  t.set("p99_us", m.p99_us);
+  t.set("p999_us", m.p999_us);
+  if (m.interference > 0.0) {
+    t.set("solo_p99_us", m.solo_p99_us);
+    t.set("solo_gbs", m.solo_gbs);
+    t.set("interference", m.interference);
+  }
+  return t;
+}
+
+bench::Json scenario_json(const tenant::ScenarioResult& r) {
+  bench::Json s = bench::Json::object();
+  s.set("name", tenant::scenario_name(r.scenario));
+  s.set("jain_index", r.report.jain_index);
+  s.set("aggregate_gbs", r.report.aggregate_gbs);
+  s.set("makespan_s", static_cast<double>(r.makespan) / 1e9);
+  bench::Json cluster = bench::Json::object();
+  cluster.set("stalled_writes", r.cluster.stalled_writes);
+  cluster.set("append_stall_ms",
+              static_cast<double>(r.cluster.append_stall_ns) / 1e6);
+  cluster.set("written_pages", r.cluster.written_pages);
+  cluster.set("segments_cleaned", r.cleaner.segments_cleaned);
+  cluster.set("pages_relocated", r.cleaner.pages_relocated);
+  s.set("cluster", std::move(cluster));
+  bench::Json tenants = bench::Json::array();
+  for (const auto& m : r.report.tenants) tenants.push(tenant_json(m));
+  s.set("tenants", std::move(tenants));
+  return s;
+}
+
+}  // namespace
+}  // namespace uc
+
+int main(int argc, char** argv) {
+  using namespace uc;
+  const auto scale = bench::parse_scale(argc, argv, /*supports_json=*/true);
+
+  bench::print_header(
+      "Multi-tenant colocation — shared cluster, per-tenant QoS",
+      "beyond the paper: its single-volume observations re-measured under "
+      "colocation (noisy neighbours, fairness, cluster-wide GC, bursts)");
+
+  tenant::ScenarioOptions opt;
+  opt.quick = scale.quick;
+
+  bench::Json scenarios = bench::Json::array();
+  for (const tenant::Scenario s : tenant::all_scenarios()) {
+    const auto result = tenant::run_scenario(s, opt);
+    std::printf("\n--- %s ---\n(%s)\n%s", tenant::scenario_name(s),
+                tenant::scenario_blurb(s), result.report.to_table().c_str());
+    std::printf(
+        "cluster: %llu stalled writes, %.1f ms stalled, %llu segments "
+        "cleaned\n",
+        static_cast<unsigned long long>(result.cluster.stalled_writes),
+        static_cast<double>(result.cluster.append_stall_ns) / 1e6,
+        static_cast<unsigned long long>(result.cleaner.segments_cleaned));
+
+    if (s == tenant::Scenario::kNoisyNeighbor) {
+      double worst = 0.0;
+      for (const auto& m : result.report.tenants) {
+        if (m.name.rfind("victim", 0) == 0 && m.interference > worst) {
+          worst = m.interference;
+        }
+      }
+      std::printf("noisy-neighbour victim p99 inflation: %.2fx (target >= 2x)\n",
+                  worst);
+    }
+    if (s == tenant::Scenario::kFairShare) {
+      std::printf("fair-share Jain index: %.4f (target >= 0.95)\n",
+                  result.report.jain_index);
+    }
+    scenarios.push(scenario_json(result));
+  }
+
+  bench::Json config = bench::Json::object();
+  config.set("quick", opt.quick);
+  config.set("seed", opt.seed);
+  config.set("solo_baselines", opt.solo_baselines);
+  bench::Json metrics = bench::Json::object();
+  metrics.set("scenarios", std::move(scenarios));
+  bench::maybe_write_json(
+      scale, bench::bench_report("multi_tenant", std::move(config),
+                                 std::move(metrics)));
+  return 0;
+}

@@ -1,6 +1,7 @@
 // Reproduces Table I: device configurations plus *measured* maximum
 // bandwidth and IOPS for the two ESSD profiles and the local-SSD reference,
 // and the 4 KiB QD1 latency anchors the Figure 2 gaps divide by.
+// --json <path> dumps the measured row per device.
 
 #include <algorithm>
 #include <cstdint>
@@ -85,7 +86,7 @@ Measured measure(const contract::DeviceFactory& factory, SimTime duration) {
 
 int main(int argc, char** argv) {
   using namespace uc;
-  const auto scale = bench::parse_scale(argc, argv);
+  const auto scale = bench::parse_scale(argc, argv, /*supports_json=*/true);
   const SimTime duration = scale.quick ? units::kSec / 2 : 2 * units::kSec;
 
   bench::print_header(
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
   TextTable table({"device", "capacity", "seqR GB/s", "seqW GB/s",
                    "randR GB/s", "randW GB/s", "randR kIOPS", "randW kIOPS",
                    "4K QD1 RW/SW/RR/SR (us)"});
+  bench::Json json_devices = bench::Json::array();
   for (const auto& dev : bench::paper_devices(scale)) {
     sim::Simulator probe_sim;
     const auto info = dev.factory(probe_sim)->info();
@@ -109,9 +111,32 @@ int main(int argc, char** argv) {
                    strfmt("%.0f", m.rand_write_kiops),
                    strfmt("%.0f/%.0f/%.0f/%.0f", m.lat_rw_us, m.lat_sw_us,
                           m.lat_rr_us, m.lat_sr_us)});
+    bench::Json row = bench::Json::object();
+    row.set("device", dev.name);
+    row.set("capacity_bytes", info.capacity_bytes);
+    row.set("seq_read_gbs", m.seq_read_gbs);
+    row.set("seq_write_gbs", m.seq_write_gbs);
+    row.set("rand_read_gbs", m.rand_read_gbs);
+    row.set("rand_write_gbs", m.rand_write_gbs);
+    row.set("rand_read_kiops", m.rand_read_kiops);
+    row.set("rand_write_kiops", m.rand_write_kiops);
+    row.set("lat_rand_write_us", m.lat_rw_us);
+    row.set("lat_seq_write_us", m.lat_sw_us);
+    row.set("lat_rand_read_us", m.lat_rr_us);
+    row.set("lat_seq_read_us", m.lat_sr_us);
+    json_devices.push(std::move(row));
   }
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "note: capacities are bench-scaled; bandwidth/latency are unscaled.\n");
+
+  bench::Json config = bench::Json::object();
+  config.set("quick", scale.quick);
+  config.set("duration_s", static_cast<double>(duration) / 1e9);
+  bench::Json metrics = bench::Json::object();
+  metrics.set("devices", std::move(json_devices));
+  bench::maybe_write_json(scale, bench::bench_report("table1",
+                                                     std::move(config),
+                                                     std::move(metrics)));
   return 0;
 }

@@ -2,21 +2,29 @@
 
 /// \file bench_util.h
 /// Shared helpers for the benchmark harness: device factories at bench
-/// scale, --quick parsing, and paper-reference printing.
+/// scale, --quick / --json parsing, paper-reference printing, and the
+/// machine-readable result schema.
+///
+/// Every bench that supports `--json <path>` writes one document with the
+/// same envelope — `{"bench": <name>, "config": {...}, "metrics": {...}}` —
+/// so results can be diffed and regressed across PRs with generic tooling.
 ///
 /// Scaling note (DESIGN.md §2): capacities are scaled down (the paper used
 /// 1-2 TB volumes); bandwidths, latencies, and budgets are NOT scaled, and
 /// GC/cleaning cliffs are reported in multiples of capacity, which is
 /// scale-free.
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/strfmt.h"
 #include "common/units.h"
 #include "contract/suite.h"
 #include "essd/essd_device.h"
@@ -28,14 +36,31 @@ struct Scale {
   std::uint64_t ssd_capacity = 16ull << 30;   // paper: 1 TB
   std::uint64_t essd_capacity = 32ull << 30;  // paper: 2 TB (2x the SSD)
   bool quick = false;
+  std::string json_path;  ///< empty = no JSON output
 };
 
-inline Scale parse_scale(int argc, char** argv) {
+/// `supports_json` guards against silently accepting --json in benches
+/// that never call maybe_write_json(); pass true once a bench emits the
+/// shared schema.
+inline Scale parse_scale(int argc, char** argv, bool supports_json = false) {
   Scale s;
   bool quick = std::getenv("UC_BENCH_QUICK") != nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--full") == 0) quick = false;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (!supports_json) {
+        std::fprintf(stderr,
+                     "error: this bench does not emit --json output yet\n");
+        std::exit(2);
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --json requires a path argument\n");
+        std::exit(2);
+      }
+      s.json_path = argv[i + 1];
+      ++i;
+    }
   }
   if (quick) {
     s.quick = true;
@@ -43,6 +68,162 @@ inline Scale parse_scale(int argc, char** argv) {
     s.essd_capacity = 16ull << 30;
   }
   return s;
+}
+
+// ---------------------------------------------------------------- JSON --
+
+/// Minimal ordered JSON document builder: enough for the bench result
+/// schema (objects keep insertion order, arrays, strings, numbers, bools).
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}                  // NOLINT
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}               // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}                   // NOLINT
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}         // NOLINT
+  Json(const char* v) : kind_(Kind::kString), str_(v) {}          // NOLINT
+  Json(std::string v) : kind_(Kind::kString), str_(std::move(v)) {}  // NOLINT
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  Json& set(std::string key, Json value) {
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Json& push(Json value) {
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  std::string dump(int indent = 0) const {
+    std::string out;
+    write(out, indent);
+    out += "\n";
+    return out;
+  }
+
+ private:
+  static void write_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out += strfmt("\\u%04x", c);
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  void write(std::string& out, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::kNull:
+        out += "null";
+        break;
+      case Kind::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::kNumber: {
+        if (!std::isfinite(num_)) {
+          out += "null";  // JSON has no NaN/inf
+        } else if (num_ >= -9.0e18 && num_ <= 9.0e18 &&
+                   num_ == static_cast<double>(static_cast<long long>(num_))) {
+          // In-range integral values print without an exponent/fraction.
+          out += strfmt("%lld", static_cast<long long>(num_));
+        } else {
+          out += strfmt("%.6g", num_);
+        }
+        break;
+      }
+      case Kind::kString:
+        write_escaped(out, str_);
+        break;
+      case Kind::kArray: {
+        if (items_.empty()) {
+          out += "[]";
+          break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          out += pad_in;
+          items_[i].write(out, indent + 1);
+          if (i + 1 < items_.size()) out += ",";
+          out += "\n";
+        }
+        out += pad + "]";
+        break;
+      }
+      case Kind::kObject: {
+        if (members_.empty()) {
+          out += "{}";
+          break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          out += pad_in;
+          write_escaped(out, members_[i].first);
+          out += ": ";
+          members_[i].second.write(out, indent + 1);
+          if (i + 1 < members_.size()) out += ",";
+          out += "\n";
+        }
+        out += pad + "}";
+        break;
+      }
+    }
+  }
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// The shared result envelope every JSON-emitting bench uses.
+inline Json bench_report(const char* bench, Json config, Json metrics) {
+  Json doc = Json::object();
+  doc.set("bench", bench);
+  doc.set("config", std::move(config));
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
+
+/// Writes `doc` to `scale.json_path` if --json was given; returns whether a
+/// file was written.
+inline bool maybe_write_json(const Scale& scale, const Json& doc) {
+  if (scale.json_path.empty()) return false;
+  std::FILE* f = std::fopen(scale.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", scale.json_path.c_str());
+    std::exit(1);
+  }
+  const std::string text = doc.dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("json: wrote %s\n", scale.json_path.c_str());
+  return true;
 }
 
 inline contract::DeviceFactory ssd_factory(std::uint64_t capacity) {

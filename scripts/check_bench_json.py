@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates a bench --json document against the shared result schema.
+
+Every JSON-emitting bench writes one envelope:
+    {"bench": <str>, "config": <object>, "metrics": <object>}
+Known benches get extra structural checks.  Exit 0 = valid.
+
+Usage: scripts/check_bench_json.py <path> [<path>...]
+"""
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: SCHEMA ERROR: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_envelope(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object")
+    for key, typ in (("bench", str), ("config", dict), ("metrics", dict)):
+        if key not in doc:
+            fail(path, f"missing key '{key}'")
+        if not isinstance(doc[key], typ):
+            fail(path, f"'{key}' must be {typ.__name__}")
+
+
+def check_tenant(path, tenant):
+    for key in ("name", "ops", "gbs", "share", "p50_us", "p99_us", "p999_us"):
+        if key not in tenant:
+            fail(path, f"tenant missing '{key}'")
+
+
+def check_multi_tenant(path, metrics):
+    scenarios = metrics.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail(path, "metrics.scenarios must be a non-empty array")
+    expected = {"noisy-neighbor", "fair-share", "cleaner-pressure",
+                "burst-collision"}
+    names = {s.get("name") for s in scenarios}
+    if not expected <= names:
+        fail(path, f"missing scenarios: {sorted(expected - names)}")
+    for s in scenarios:
+        for key in ("name", "jain_index", "aggregate_gbs", "makespan_s",
+                    "cluster", "tenants"):
+            if key not in s:
+                fail(path, f"scenario '{s.get('name')}' missing '{key}'")
+        for key in ("stalled_writes", "append_stall_ms", "segments_cleaned"):
+            if key not in s["cluster"]:
+                fail(path, f"scenario '{s['name']}' cluster missing '{key}'")
+        if not s["tenants"]:
+            fail(path, f"scenario '{s['name']}' has no tenants")
+        for tenant in s["tenants"]:
+            check_tenant(path, tenant)
+
+
+def check_fig2(path, metrics):
+    devices = metrics.get("devices")
+    if not isinstance(devices, list) or len(devices) != 2:
+        fail(path, "metrics.devices must list the two ESSD profiles")
+    for dev in devices:
+        matrices = dev.get("matrices")
+        if not isinstance(matrices, list) or len(matrices) != 4:
+            fail(path, "each device needs 4 workload matrices")
+        for m in matrices:
+            if not isinstance(m.get("cells"), list) or not m["cells"]:
+                fail(path, "each matrix needs a non-empty cells array")
+            for cell in m["cells"]:
+                for key in ("io_bytes", "queue_depth", "avg_us", "p999_us",
+                            "avg_gap", "p999_gap"):
+                    if key not in cell:
+                        fail(path, f"latency cell missing '{key}'")
+
+
+def check_table1(path, metrics):
+    devices = metrics.get("devices")
+    if not isinstance(devices, list) or len(devices) != 3:
+        fail(path, "metrics.devices must list ESSD-1, ESSD-2, and the SSD")
+    for dev in devices:
+        for key in ("device", "capacity_bytes", "seq_read_gbs",
+                    "rand_write_kiops"):
+            if key not in dev:
+                fail(path, f"device row missing '{key}'")
+
+
+CHECKS = {
+    "multi_tenant": check_multi_tenant,
+    "fig2_latency": check_fig2,
+    "table1": check_table1,
+}
+
+
+def main(paths):
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, str(e))
+        check_envelope(path, doc)
+        extra = CHECKS.get(doc["bench"])
+        if extra is not None:
+            extra(path, doc["metrics"])
+        print(f"{path}: ok ({doc['bench']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,8 +6,8 @@
 namespace uc::ebs {
 
 Cleaner::Cleaner(sim::Simulator& sim, const CleanerConfig& cfg,
-                 std::uint64_t segment_bytes, std::vector<ChunkLog>& logs,
-                 SegmentPool& pool)
+                 std::uint64_t segment_bytes,
+                 const std::vector<ChunkLog*>& logs, SegmentPool& pool)
     : sim_(sim),
       cfg_(cfg),
       segment_bytes_(segment_bytes),
@@ -26,7 +26,7 @@ void Cleaner::notify() {
 Cleaner::GlobalVictim Cleaner::pick_global_victim() const {
   GlobalVictim best;
   for (std::uint32_t c = 0; c < logs_.size(); ++c) {
-    const auto v = logs_[c].pick_victim();
+    const auto v = logs_[c]->pick_victim();
     if (!v.has_value()) continue;
     if (!best.found || v->garbage_ratio() > best.victim.garbage_ratio()) {
       best.chunk = c;
@@ -56,7 +56,7 @@ void Cleaner::run_cycle() {
   sim_.schedule_after(static_cast<SimTime>(seconds * 1e9),
                       [this, target] {
                         std::uint32_t moved = 0;
-                        const bool ok = logs_[target.chunk].clean_segment(
+                        const bool ok = logs_[target.chunk]->clean_segment(
                             target.victim.seq, pool_, &moved);
                         UC_ASSERT(ok, "cleaner reserve exhausted");
                         ++stats_.segments_cleaned;

@@ -38,8 +38,12 @@ struct CleanerStats {
 
 class Cleaner {
  public:
+  /// `logs` is the cluster's registry of chunk logs across *all* attached
+  /// volumes (global chunk id -> log); the cluster appends to it as volumes
+  /// attach, and the cleaner always scans the current registry.  One cleaner
+  /// therefore serves every tenant from the same background bandwidth.
   Cleaner(sim::Simulator& sim, const CleanerConfig& cfg,
-          std::uint64_t segment_bytes, std::vector<ChunkLog>& logs,
+          std::uint64_t segment_bytes, const std::vector<ChunkLog*>& logs,
           SegmentPool& pool);
 
   /// Pool or garbage state changed; (re)start the cleaning loop if needed.
@@ -50,7 +54,7 @@ class Cleaner {
 
  private:
   struct GlobalVictim {
-    std::uint32_t chunk = 0;
+    std::uint32_t chunk = 0;  ///< global chunk id (index into the registry)
     ChunkLog::Victim victim;
     bool found = false;
   };
@@ -61,7 +65,7 @@ class Cleaner {
   sim::Simulator& sim_;
   CleanerConfig cfg_;
   std::uint64_t segment_bytes_;
-  std::vector<ChunkLog>& logs_;
+  const std::vector<ChunkLog*>& logs_;
   SegmentPool& pool_;
   CleanerStats stats_;
   bool busy_ = false;

@@ -11,20 +11,40 @@
 
 namespace uc::ebs {
 
+// A shared cluster starts with the provider's spare capacity plus the
+// cleaner reserve; every attach_volume() grows the pool by the volume's
+// live + open-segment share.
+std::uint64_t StorageCluster::shared_pool_groups(const ClusterConfig& cfg) {
+  return cfg.spare_pool_bytes / cfg.segment_bytes + cfg.cleaner_reserve_groups;
+}
+
+// Pool sizing of the original single-volume cluster, reproduced exactly:
+// live data + spare + one open segment per chunk, plus the cleaner reserve.
+std::uint64_t StorageCluster::legacy_pool_groups(const ClusterConfig& cfg,
+                                                 std::uint64_t volume_bytes) {
+  const std::uint64_t chunks =
+      (volume_bytes + cfg.chunk_bytes - 1) / cfg.chunk_bytes;
+  return (volume_bytes + cfg.spare_pool_bytes) / cfg.segment_bytes + chunks +
+         cfg.cleaner_reserve_groups;
+}
+
+StorageCluster::StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg)
+    : StorageCluster(sim, cfg, shared_pool_groups(cfg), 0) {}
+
 StorageCluster::StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg,
                                std::uint64_t volume_bytes)
+    : StorageCluster(sim, cfg, legacy_pool_groups(cfg, volume_bytes), 0) {
+  // The pool already covers the volume (legacy sizing), so don't grow it.
+  attach_volume_internal(volume_bytes, /*grow_pool=*/false);
+}
+
+StorageCluster::StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg,
+                               std::uint64_t initial_pool_groups, int /*tag*/)
     : sim_(sim),
       cfg_(cfg),
       rng_(cfg.seed),
-      map_(volume_bytes,
-           ChunkMapConfig{cfg.chunk_bytes, cfg.replication, cfg.fabric.nodes,
-                          cfg.seed}),
       fabric_(cfg.fabric, Rng(cfg.seed ^ 0xfab71cull)),
-      // Pool sizing: live data + spare + one open segment per chunk, plus
-      // the cleaner's reserve.
-      pool_((volume_bytes + cfg.spare_pool_bytes) / cfg.segment_bytes +
-                map_.chunk_count() + cfg.cleaner_reserve_groups,
-            cfg.cleaner_reserve_groups),
+      pool_(initial_pool_groups, cfg.cleaner_reserve_groups),
       replica_write_(cfg.replica_write),
       replica_read_(cfg.replica_read),
       append_ns_per_byte_(units::ns_per_byte_from_mbps(cfg.node_append_mbps)),
@@ -34,33 +54,69 @@ StorageCluster::StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg,
             "segment size must be 4 KiB aligned");
   UC_ASSERT(cfg.chunk_bytes % cfg.segment_bytes == 0,
             "chunk size must be a multiple of the segment size");
-  const auto pages_per_segment =
+  pages_per_segment_ =
       static_cast<std::uint32_t>(cfg.segment_bytes / kLogicalPageBytes);
-  logs_.reserve(map_.chunk_count());
-  for (std::uint32_t c = 0; c < map_.chunk_count(); ++c) {
-    logs_.emplace_back(map_.pages_per_chunk(), pages_per_segment);
-  }
-  readahead_cursor_.assign(map_.chunk_count(), ~0ull);
   for (int n = 0; n < cfg.fabric.nodes; ++n) {
     node_append_.emplace_back();
     node_read_.emplace_back();
     node_caches_.emplace_back(cfg.node_cache_pages);
   }
   cleaner_ = std::make_unique<Cleaner>(sim_, cfg.cleaner, cfg.segment_bytes,
-                                       logs_, pool_);
+                                       all_logs_, pool_);
   pool_.set_release_callback([this] { pump_appends(); });
+}
+
+VolumeId StorageCluster::attach_volume(std::uint64_t volume_bytes) {
+  return attach_volume_internal(volume_bytes, /*grow_pool=*/true);
+}
+
+VolumeId StorageCluster::attach_volume_internal(std::uint64_t volume_bytes,
+                                                bool grow_pool) {
+  UC_ASSERT(volume_bytes > 0 && volume_bytes % kLogicalPageBytes == 0,
+            "volume size must be a positive 4 KiB multiple");
+  const auto id = static_cast<VolumeId>(volumes_.size());
+  // Every volume gets its own placement stream; volume 0 keeps the plain
+  // config seed so the single-volume path is unchanged.
+  const std::uint64_t map_seed =
+      cfg_.seed + kVolumeSeedStride * static_cast<std::uint64_t>(id);
+  auto vol = std::make_unique<Volume>(
+      volume_bytes, static_cast<std::uint32_t>(all_logs_.size()),
+      ChunkMap(volume_bytes,
+               ChunkMapConfig{cfg_.chunk_bytes, cfg_.replication,
+                              cfg_.fabric.nodes, map_seed}));
+  const std::uint32_t chunks = vol->map.chunk_count();
+  vol->logs.reserve(chunks);
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    vol->logs.emplace_back(vol->map.pages_per_chunk(), pages_per_segment_);
+  }
+  vol->readahead_cursor.assign(chunks, ~0ull);
+  if (grow_pool) {
+    pool_.grow((volume_bytes + cfg_.segment_bytes - 1) / cfg_.segment_bytes +
+               chunks);
+  }
+  // `logs` never resizes after this point, so the registry pointers are
+  // stable for the cluster's lifetime.
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    all_logs_.push_back(&vol->logs[c]);
+  }
+  volumes_.push_back(std::move(vol));
+  return id;
 }
 
 // --------------------------------------------------------------- writes --
 
-void StorageCluster::write(ByteOffset offset, std::uint32_t bytes,
-                           WriteStamp first_stamp, std::function<void()> done) {
-  UC_ASSERT(map_.offset_in_chunk(offset) + bytes <= map_.chunk_bytes(),
+void StorageCluster::write(VolumeId vol, ByteOffset offset,
+                           std::uint32_t bytes, WriteStamp first_stamp,
+                           std::function<void()> done) {
+  Volume& v = volume(vol);
+  UC_ASSERT(v.map.offset_in_chunk(offset) + bytes <= v.map.chunk_bytes(),
             "write fragment crosses a chunk boundary");
   ++stats_.writes;
+  ++v.stats.writes;
   PendingWrite op;
-  op.chunk = map_.chunk_of(offset);
-  op.first_page = static_cast<std::uint32_t>(map_.offset_in_chunk(offset) /
+  op.vol = vol;
+  op.chunk = v.map.chunk_of(offset);
+  op.first_page = static_cast<std::uint32_t>(v.map.offset_in_chunk(offset) /
                                              kLogicalPageBytes);
   op.pages = bytes / kLogicalPageBytes;
   op.first_stamp = first_stamp;
@@ -73,21 +129,24 @@ void StorageCluster::write(ByteOffset offset, std::uint32_t bytes,
 void StorageCluster::pump_appends() {
   while (!append_queue_.empty()) {
     PendingWrite& op = append_queue_.front();
-    ChunkLog& log = logs_[op.chunk];
+    Volume& v = volume(op.vol);
+    ChunkLog& log = v.logs[op.chunk];
     while (op.cursor < op.pages) {
       // Writes invalidate any cached older version of the page.
-      for (const int node : map_.replicas(op.chunk)) {
+      for (const int node : v.map.replicas(op.chunk)) {
         node_caches_[static_cast<std::size_t>(node)].invalidate(
-            cache_key(op.chunk, op.first_page + op.cursor));
+            cache_key(v, op.chunk, op.first_page + op.cursor));
       }
       if (!log.append_page(op.first_page + op.cursor,
                            op.first_stamp + op.cursor, pool_)) {
-        // Pool dry: the volume stalls until the cleaner frees segments.
-        // This emergent throttling *is* the provider's flow limiting.
+        // Pool dry: the cluster stalls until the cleaner frees segments.
+        // This emergent throttling *is* the provider's flow limiting — and
+        // on a shared cluster it is felt by every tenant at once.
         if (!stalled_) {
           stalled_ = true;
           stall_since_ = sim_.now();
           ++stats_.stalled_writes;
+          ++v.stats.stalled_writes;
         }
         cleaner_->notify();
         return;
@@ -96,9 +155,12 @@ void StorageCluster::pump_appends() {
     }
     if (stalled_) {
       stalled_ = false;
-      stats_.append_stall_ns += sim_.now() - stall_since_;
+      const SimTime stalled_for = sim_.now() - stall_since_;
+      stats_.append_stall_ns += stalled_for;
+      v.stats.append_stall_ns += stalled_for;
     }
     stats_.written_pages += op.pages;
+    v.stats.written_pages += op.pages;
     issue_write_io(op);
     append_queue_.pop_front();
   }
@@ -108,8 +170,9 @@ void StorageCluster::pump_appends() {
 void StorageCluster::issue_write_io(PendingWrite& op) {
   // Fan the payload out to every replica; the op completes on the slowest
   // journal commit plus the ack hop back to the block server.
+  const Volume& v = volume(op.vol);
   SimTime slowest = 0;
-  for (const int node : map_.replicas(op.chunk)) {
+  for (const int node : v.map.replicas(op.chunk)) {
     SimTime t = fabric_.to_node(sim_.now(), node, op.bytes);
     const auto svc = static_cast<SimTime>(
         cfg_.node_append_op_us * 1e3 +
@@ -124,23 +187,26 @@ void StorageCluster::issue_write_io(PendingWrite& op) {
 
 // ---------------------------------------------------------------- reads --
 
-void StorageCluster::read(ByteOffset offset, std::uint32_t bytes,
+void StorageCluster::read(VolumeId vol, ByteOffset offset, std::uint32_t bytes,
                           std::function<void()> done) {
-  UC_ASSERT(map_.offset_in_chunk(offset) + bytes <= map_.chunk_bytes(),
+  Volume& v = volume(vol);
+  UC_ASSERT(v.map.offset_in_chunk(offset) + bytes <= v.map.chunk_bytes(),
             "read fragment crosses a chunk boundary");
   ++stats_.reads;
-  const ChunkId chunk = map_.chunk_of(offset);
+  ++v.stats.reads;
+  const ChunkId chunk = v.map.chunk_of(offset);
   const auto first_page = static_cast<std::uint32_t>(
-      map_.offset_in_chunk(offset) / kLogicalPageBytes);
+      v.map.offset_in_chunk(offset) / kLogicalPageBytes);
   const std::uint32_t pages = bytes / kLogicalPageBytes;
   stats_.read_pages += pages;
+  v.stats.read_pages += pages;
 
   // Reads route to the chunk's primary replica: caches and read-ahead
   // state live where the reads go, and load still spreads because chunk
   // primaries are distributed across the cluster.
-  const int node = map_.replicas(chunk)[0];
+  const int node = v.map.replicas(chunk)[0];
   auto& cache = node_caches_[static_cast<std::size_t>(node)];
-  ChunkLog& log = logs_[chunk];
+  ChunkLog& log = v.logs[chunk];
 
   // Request message reaches the node first.
   const SimTime t_req = fabric_.to_node(sim_.now(), node, 256);
@@ -151,10 +217,12 @@ void StorageCluster::read(ByteOffset offset, std::uint32_t bytes,
     const std::uint32_t page = first_page + i;
     if (!log.is_written(page)) {
       ++stats_.unwritten_read_pages;  // served as zeros from metadata
+      ++v.stats.unwritten_read_pages;
       continue;
     }
-    if (auto r = cache.lookup(cache_key(chunk, page)); r.has_value()) {
+    if (auto r = cache.lookup(cache_key(v, chunk, page)); r.has_value()) {
       ++stats_.cache_hit_pages;
+      ++v.stats.cache_hit_pages;
       ready = std::max(ready, *r);
       continue;
     }
@@ -169,6 +237,7 @@ void StorageCluster::read(ByteOffset offset, std::uint32_t bytes,
   }
   if (miss_pages > 0) {
     stats_.media_read_pages += miss_pages;
+    v.stats.media_read_pages += miss_pages;
     const std::uint64_t miss_bytes =
         static_cast<std::uint64_t>(miss_pages) * kLogicalPageBytes;
     const auto svc = static_cast<SimTime>(
@@ -179,25 +248,26 @@ void StorageCluster::read(ByteOffset offset, std::uint32_t bytes,
     ready = std::max(ready, t);
     for (std::uint32_t i = 0; i < pages; ++i) {
       const std::uint32_t page = first_page + i;
-      if (log.is_written(page)) cache.insert(cache_key(chunk, page), t);
+      if (log.is_written(page)) cache.insert(cache_key(v, chunk, page), t);
     }
   }
 
   // Node-side sequential read-ahead (provider-dependent; Alibaba-style
   // profiles enable it, which is why their sequential reads outrun their
   // random reads in Figure 2c).
-  if (cfg_.readahead && readahead_cursor_[chunk] == first_page) {
+  if (cfg_.readahead && v.readahead_cursor[chunk] == first_page) {
     const std::uint32_t ra_first = first_page + pages;
     std::uint32_t ra_pages = 0;
     for (std::uint32_t i = 0; i < cfg_.readahead_pages; ++i) {
       const std::uint32_t page = ra_first + i;
-      if (page >= map_.pages_per_chunk()) break;
+      if (page >= v.map.pages_per_chunk()) break;
       if (!log.is_written(page)) break;
-      if (cache.contains(cache_key(chunk, page))) continue;
+      if (cache.contains(cache_key(v, chunk, page))) continue;
       ++ra_pages;
     }
     if (ra_pages > 0) {
       ++stats_.readahead_fetches;
+      ++v.stats.readahead_fetches;
       const std::uint64_t ra_bytes =
           static_cast<std::uint64_t>(ra_pages) * kLogicalPageBytes;
       const auto svc = static_cast<SimTime>(
@@ -208,13 +278,13 @@ void StorageCluster::read(ByteOffset offset, std::uint32_t bytes,
           replica_read_.sample(rng_, ra_bytes);
       for (std::uint32_t i = 0; i < cfg_.readahead_pages; ++i) {
         const std::uint32_t page = ra_first + i;
-        if (page >= map_.pages_per_chunk()) break;
+        if (page >= v.map.pages_per_chunk()) break;
         if (!log.is_written(page)) break;
-        cache.insert(cache_key(chunk, page), t_ra);
+        cache.insert(cache_key(v, chunk, page), t_ra);
       }
     }
   }
-  readahead_cursor_[chunk] = first_page + pages;
+  v.readahead_cursor[chunk] = first_page + pages;
 
   const SimTime t_back = fabric_.to_vm(ready, node, bytes);
   sim_.schedule_at(t_back, std::move(done));
@@ -222,45 +292,100 @@ void StorageCluster::read(ByteOffset offset, std::uint32_t bytes,
 
 // ----------------------------------------------------------------- misc --
 
-void StorageCluster::trim(ByteOffset offset, std::uint32_t bytes) {
-  UC_ASSERT(map_.offset_in_chunk(offset) + bytes <= map_.chunk_bytes(),
+void StorageCluster::trim(VolumeId vol, ByteOffset offset,
+                          std::uint32_t bytes) {
+  Volume& v = volume(vol);
+  UC_ASSERT(v.map.offset_in_chunk(offset) + bytes <= v.map.chunk_bytes(),
             "trim fragment crosses a chunk boundary");
-  const ChunkId chunk = map_.chunk_of(offset);
+  const ChunkId chunk = v.map.chunk_of(offset);
   const auto first_page = static_cast<std::uint32_t>(
-      map_.offset_in_chunk(offset) / kLogicalPageBytes);
+      v.map.offset_in_chunk(offset) / kLogicalPageBytes);
   const std::uint32_t pages = bytes / kLogicalPageBytes;
+  ++stats_.trims;
+  ++v.stats.trims;
   for (std::uint32_t i = 0; i < pages; ++i) {
-    logs_[chunk].trim_page(first_page + i);
-    for (const int node : map_.replicas(chunk)) {
+    ChunkLog& log = v.logs[chunk];
+    // Only pages that were actually written turn into garbage; counting
+    // no-op trims used to make trimmed_pages impossible to reconcile with
+    // the live/garbage deltas.
+    if (log.is_written(first_page + i)) {
+      ++stats_.trimmed_pages;
+      ++v.stats.trimmed_pages;
+    }
+    log.trim_page(first_page + i);
+    for (const int node : v.map.replicas(chunk)) {
       node_caches_[static_cast<std::size_t>(node)].invalidate(
-          cache_key(chunk, first_page + i));
+          cache_key(v, chunk, first_page + i));
     }
   }
   cleaner_->notify();
 }
 
-bool StorageCluster::is_written(ByteOffset offset) const {
-  const ChunkId chunk = map_.chunk_of(offset);
-  return logs_[chunk].is_written(static_cast<std::uint32_t>(
-      map_.offset_in_chunk(offset) / kLogicalPageBytes));
+bool StorageCluster::is_written(VolumeId vol, ByteOffset offset) const {
+  const Volume& v = volume(vol);
+  const ChunkId chunk = v.map.chunk_of(offset);
+  return v.logs[chunk].is_written(static_cast<std::uint32_t>(
+      v.map.offset_in_chunk(offset) / kLogicalPageBytes));
 }
 
-WriteStamp StorageCluster::page_stamp(ByteOffset offset) const {
-  const ChunkId chunk = map_.chunk_of(offset);
-  return logs_[chunk].page_stamp(static_cast<std::uint32_t>(
-      map_.offset_in_chunk(offset) / kLogicalPageBytes));
+WriteStamp StorageCluster::page_stamp(VolumeId vol, ByteOffset offset) const {
+  const Volume& v = volume(vol);
+  const ChunkId chunk = v.map.chunk_of(offset);
+  return v.logs[chunk].page_stamp(static_cast<std::uint32_t>(
+      v.map.offset_in_chunk(offset) / kLogicalPageBytes));
+}
+
+std::uint64_t StorageCluster::live_pages(VolumeId vol) const {
+  std::uint64_t total = 0;
+  for (const auto& log : volume(vol).logs) total += log.live_pages();
+  return total;
+}
+
+std::uint64_t StorageCluster::garbage_pages(VolumeId vol) const {
+  std::uint64_t total = 0;
+  for (const auto& log : volume(vol).logs) total += log.garbage_pages();
+  return total;
 }
 
 std::uint64_t StorageCluster::live_pages() const {
   std::uint64_t total = 0;
-  for (const auto& log : logs_) total += log.live_pages();
+  for (const ChunkLog* log : all_logs_) total += log->live_pages();
   return total;
 }
 
 std::uint64_t StorageCluster::garbage_pages() const {
   std::uint64_t total = 0;
-  for (const auto& log : logs_) total += log.garbage_pages();
+  for (const ChunkLog* log : all_logs_) total += log->garbage_pages();
   return total;
+}
+
+bool StorageCluster::check_invariants() const {
+  std::uint64_t allocated_groups = 0;
+  for (const ChunkLog* log : all_logs_) {
+    log->check_invariants();
+    allocated_groups += log->allocated_segments();
+  }
+  UC_ASSERT(allocated_groups == pool_.total_groups() - pool_.free_groups(),
+            "chunk-log segment ownership diverged from the pool totals");
+  // The per-volume slices must add up to the cluster totals.
+  ClusterStats sum;
+  for (const auto& v : volumes_) {
+    sum.writes += v->stats.writes;
+    sum.written_pages += v->stats.written_pages;
+    sum.reads += v->stats.reads;
+    sum.read_pages += v->stats.read_pages;
+    sum.trims += v->stats.trims;
+    sum.trimmed_pages += v->stats.trimmed_pages;
+    sum.stalled_writes += v->stats.stalled_writes;
+  }
+  UC_ASSERT(sum.writes == stats_.writes && sum.reads == stats_.reads &&
+                sum.written_pages == stats_.written_pages &&
+                sum.read_pages == stats_.read_pages &&
+                sum.trims == stats_.trims &&
+                sum.trimmed_pages == stats_.trimmed_pages &&
+                sum.stalled_writes == stats_.stalled_writes,
+            "per-volume stats slices diverged from the cluster totals");
+  return true;
 }
 
 }  // namespace uc::ebs

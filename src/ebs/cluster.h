@@ -10,6 +10,14 @@
 /// of the target chunk and completes on the slowest; reads go to one
 /// replica.  All four of the paper's observations trace back to mechanisms
 /// in this file plus the QoS gate in `uc::essd`.
+///
+/// A cluster hosts one or more *volumes*: each `attach_volume()` call adds
+/// an independent address space (its own `ChunkMap`, chunk logs, and stats)
+/// on top of the shared node pipelines, node caches, fabric, segment pool,
+/// and the single cluster-wide cleaner.  This is how real EBS clusters
+/// multiplex tenants, and it is the interference medium for every
+/// `uc::tenant` scenario.  The single-volume constructor preserves the
+/// original one-volume-per-cluster behaviour bit for bit.
 
 #include <cstdint>
 #include <deque>
@@ -30,6 +38,16 @@
 
 namespace uc::ebs {
 
+/// Index of an attached volume within its cluster (dense, allocation order).
+using VolumeId = std::uint32_t;
+
+/// Per-volume seed derivation stride (golden-ratio mix): volume `i` of a
+/// cluster seeded `s` places its chunks with seed `s + i * stride`, so
+/// volume 0 reproduces the single-volume placement exactly.  `uc::tenant`
+/// derives its solo-baseline cluster seeds with the same stride so a solo
+/// rerun of tenant `i` sees the identical placement it had colocated.
+inline constexpr std::uint64_t kVolumeSeedStride = 0x9e3779b97f4a7c15ull;
+
 struct ClusterConfig {
   net::FabricConfig fabric;
 
@@ -39,7 +57,8 @@ struct ClusterConfig {
 
   /// Spare capacity beyond the volume's logical size (the provider's
   /// garbage headroom).  Sizing this against the cleaner bandwidth decides
-  /// whether a volume ever shows a GC cliff (Observation 2).
+  /// whether a volume ever shows a GC cliff (Observation 2).  On a shared
+  /// cluster this is the *cluster-wide* headroom all tenants draw from.
   std::uint64_t spare_pool_bytes = 0;
 
   /// Per-node append pipeline: per-op CPU/journal overhead plus byte cost.
@@ -73,41 +92,107 @@ struct ClusterStats {
   std::uint64_t media_read_pages = 0;
   std::uint64_t unwritten_read_pages = 0;
   std::uint64_t readahead_fetches = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t trimmed_pages = 0;
   std::uint64_t stalled_writes = 0;
   SimTime append_stall_ns = 0;
 };
 
 class StorageCluster {
  public:
+  /// Multi-volume cluster: starts with only the shared spare pool (plus the
+  /// cleaner reserve); call `attach_volume()` for each tenant volume.
+  StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg);
+
+  /// Single-volume compatibility path: sizes the pool exactly as the
+  /// original one-volume cluster did and attaches the volume as VolumeId 0.
+  /// `determinism_test` pins this path bit for bit.
   StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg,
                  std::uint64_t volume_bytes);
+
+  /// Adds a volume of `volume_bytes` to the shared address space, growing
+  /// the segment pool by the volume's live + open-segment share.  Returns
+  /// the dense id used to address the volume in every per-volume call.
+  VolumeId attach_volume(std::uint64_t volume_bytes);
 
   /// Replicated append of a write fragment (must lie within one chunk).
   /// Pages get stamps `first_stamp + i`.  Completes on the slowest replica;
   /// stalls first if the segment pool is exhausted.
-  void write(ByteOffset offset, std::uint32_t bytes, WriteStamp first_stamp,
-             std::function<void()> done);
+  void write(VolumeId vol, ByteOffset offset, std::uint32_t bytes,
+             WriteStamp first_stamp, std::function<void()> done);
 
   /// Reads a fragment (single chunk) from one replica.
-  void read(ByteOffset offset, std::uint32_t bytes, std::function<void()> done);
+  void read(VolumeId vol, ByteOffset offset, std::uint32_t bytes,
+            std::function<void()> done);
 
   /// Drops the pages, leaving garbage for the cleaner.
-  void trim(ByteOffset offset, std::uint32_t bytes);
+  void trim(VolumeId vol, ByteOffset offset, std::uint32_t bytes);
+
+  // Single-volume conveniences (VolumeId 0), matching the original API.
+  void write(ByteOffset offset, std::uint32_t bytes, WriteStamp first_stamp,
+             std::function<void()> done) {
+    write(0, offset, bytes, first_stamp, std::move(done));
+  }
+  void read(ByteOffset offset, std::uint32_t bytes,
+            std::function<void()> done) {
+    read(0, offset, bytes, std::move(done));
+  }
+  void trim(ByteOffset offset, std::uint32_t bytes) { trim(0, offset, bytes); }
 
   // --- probes ---
-  const ChunkMap& chunks() const { return map_; }
+  const ChunkMap& chunks(VolumeId vol = 0) const { return volume(vol).map; }
   const SegmentPool& pool() const { return pool_; }
   const Cleaner& cleaner() const { return *cleaner_; }
+  /// Cluster-wide totals across all volumes.
   const ClusterStats& stats() const { return stats_; }
+  /// Per-volume slice of the same counters.
+  const ClusterStats& volume_stats(VolumeId vol) const {
+    return volume(vol).stats;
+  }
   const net::Fabric& fabric() const { return fabric_; }
 
-  bool is_written(ByteOffset offset) const;
-  WriteStamp page_stamp(ByteOffset offset) const;
+  std::uint32_t volume_count() const {
+    return static_cast<std::uint32_t>(volumes_.size());
+  }
+  std::uint64_t volume_bytes(VolumeId vol) const { return volume(vol).bytes; }
+  std::uint64_t chunk_bytes() const { return cfg_.chunk_bytes; }
+
+  bool is_written(VolumeId vol, ByteOffset offset) const;
+  WriteStamp page_stamp(VolumeId vol, ByteOffset offset) const;
+  std::uint64_t live_pages(VolumeId vol) const;
+  std::uint64_t garbage_pages(VolumeId vol) const;
+
+  bool is_written(ByteOffset offset) const { return is_written(0, offset); }
+  WriteStamp page_stamp(ByteOffset offset) const {
+    return page_stamp(0, offset);
+  }
+  /// Cluster-wide totals (all volumes).
   std::uint64_t live_pages() const;
   std::uint64_t garbage_pages() const;
 
+  /// Debug probe: asserts that per-volume live/garbage accounting and the
+  /// segment-pool totals reconcile (every allocated group is owned by
+  /// exactly one non-freed chunk-log segment).  Returns true for use in
+  /// EXPECT_TRUE.
+  bool check_invariants() const;
+
  private:
+  /// One attached volume: an address space (chunk map + logs + read-ahead
+  /// cursors) over the shared cluster, with its own stats slice.
+  struct Volume {
+    Volume(std::uint64_t volume_bytes, std::uint32_t base, ChunkMap chunk_map)
+        : bytes(volume_bytes), chunk_base(base), map(std::move(chunk_map)) {}
+
+    std::uint64_t bytes;
+    std::uint32_t chunk_base;  ///< global id of this volume's chunk 0
+    ChunkMap map;
+    std::vector<ChunkLog> logs;
+    std::vector<std::uint64_t> readahead_cursor;  // per chunk: next page
+    ClusterStats stats;
+  };
+
   struct PendingWrite {
+    VolumeId vol = 0;
     ChunkId chunk = 0;
     std::uint32_t first_page = 0;
     std::uint32_t pages = 0;
@@ -117,28 +202,48 @@ class StorageCluster {
     std::function<void()> done;
   };
 
+  StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg,
+                 std::uint64_t initial_pool_groups, int tag);
+
+  static std::uint64_t shared_pool_groups(const ClusterConfig& cfg);
+  static std::uint64_t legacy_pool_groups(const ClusterConfig& cfg,
+                                          std::uint64_t volume_bytes);
+
+  VolumeId attach_volume_internal(std::uint64_t volume_bytes, bool grow_pool);
+  Volume& volume(VolumeId vol) {
+    UC_DCHECK(vol < volumes_.size(), "unknown volume");
+    return *volumes_[vol];
+  }
+  const Volume& volume(VolumeId vol) const {
+    UC_DCHECK(vol < volumes_.size(), "unknown volume");
+    return *volumes_[vol];
+  }
+
   void pump_appends();
   void issue_write_io(PendingWrite& op);
-  static std::uint64_t cache_key(ChunkId chunk, std::uint32_t page) {
-    return (static_cast<std::uint64_t>(chunk) << 32) | page;
+  /// Node-cache keys are global-chunk scoped so colocated tenants share the
+  /// cache honestly (no cross-volume key collisions).
+  std::uint64_t cache_key(const Volume& v, ChunkId chunk,
+                          std::uint32_t page) const {
+    return (static_cast<std::uint64_t>(v.chunk_base + chunk) << 32) | page;
   }
 
   sim::Simulator& sim_;
   ClusterConfig cfg_;
   ClusterStats stats_;
   Rng rng_;
-  ChunkMap map_;
   net::Fabric fabric_;
   SegmentPool pool_;
-  std::vector<ChunkLog> logs_;
+  std::vector<std::unique_ptr<Volume>> volumes_;
+  std::vector<ChunkLog*> all_logs_;  ///< global chunk id -> log (cleaner view)
   std::unique_ptr<Cleaner> cleaner_;
   sim::LatencyModel replica_write_;
   sim::LatencyModel replica_read_;
   std::vector<sim::SerialResource> node_append_;
   std::vector<sim::SerialResource> node_read_;
   std::vector<LruReadyCache<std::uint64_t>> node_caches_;
-  std::vector<std::uint64_t> readahead_cursor_;  // per chunk: next expected page
   std::deque<PendingWrite> append_queue_;
+  std::uint32_t pages_per_segment_ = 0;
   bool stalled_ = false;
   SimTime stall_since_ = 0;
   double append_ns_per_byte_;

@@ -9,8 +9,15 @@ namespace uc::ebs {
 SegmentPool::SegmentPool(std::uint64_t total_groups,
                          std::uint64_t cleaner_reserve)
     : total_(total_groups), free_(total_groups), reserve_(cleaner_reserve) {
-  UC_ASSERT(total_groups > cleaner_reserve,
-            "pool must exceed the cleaner reserve");
+  // A shared cluster may start with only its reserve + spare and grow() as
+  // volumes attach, so >= (not >) is the construction-time requirement.
+  UC_ASSERT(total_groups >= cleaner_reserve,
+            "pool must cover the cleaner reserve");
+}
+
+void SegmentPool::grow(std::uint64_t groups) {
+  total_ += groups;
+  free_ += groups;
 }
 
 bool SegmentPool::try_allocate(bool privileged) {
@@ -126,6 +133,38 @@ bool ChunkLog::clean_segment(std::uint32_t seq, SegmentPool& pool,
   --allocated_segments_;
   pool.release(1);
   if (live_moved != nullptr) *live_moved = moved;
+  return true;
+}
+
+bool ChunkLog::check_invariants() const {
+  std::uint64_t live_from_pages = 0;
+  for (std::size_t page = 0; page < page_seg_.size(); ++page) {
+    const std::uint32_t seq = page_seg_[page];
+    if (seq == kUnwritten) continue;
+    UC_ASSERT(seq < segments_.size(), "page maps beyond the segment list");
+    UC_ASSERT(!segments_[seq].freed, "live page maps into a freed segment");
+    ++live_from_pages;
+  }
+  std::uint64_t live_from_segments = 0;
+  std::uint64_t appended_alive = 0;
+  std::uint32_t allocated = 0;
+  for (std::size_t seq = 0; seq < segments_.size(); ++seq) {
+    const Segment& seg = segments_[seq];
+    if (seg.freed) continue;
+    UC_ASSERT(seg.live <= seg.appended, "segment live exceeds appended");
+    UC_ASSERT(seg.appended <= pages_per_segment_, "segment overfilled");
+    live_from_segments += seg.live;
+    appended_alive += seg.appended;
+    ++allocated;
+  }
+  UC_ASSERT(live_from_pages == live_pages_,
+            "page-table live count diverged from cached live_pages");
+  UC_ASSERT(live_from_segments == live_pages_,
+            "segment live sum diverged from cached live_pages");
+  UC_ASSERT(appended_alive == appended_alive_pages_,
+            "appended-page sum diverged from cached appended_alive_pages");
+  UC_ASSERT(allocated == allocated_segments_,
+            "non-freed segment count diverged from allocated_segments");
   return true;
 }
 

@@ -26,7 +26,9 @@ namespace uc::ebs {
 
 /// Cluster-wide free-segment accounting, in *segment groups* (one group =
 /// `replication` identical replica segments).  A small reserve is set aside
-/// for the cleaner so compaction can always make progress.
+/// for the cleaner so compaction can always make progress.  A multi-tenant
+/// cluster starts with just its shared spare capacity and grows the pool as
+/// volumes attach, so every tenant draws from the same free-space budget.
 class SegmentPool {
  public:
   SegmentPool(std::uint64_t total_groups, std::uint64_t cleaner_reserve);
@@ -35,6 +37,9 @@ class SegmentPool {
   /// the reserve.
   bool try_allocate(bool privileged);
   void release(std::uint64_t groups = 1);
+
+  /// Adds capacity (a newly attached volume's live + open-segment share).
+  void grow(std::uint64_t groups);
 
   std::uint64_t free_groups() const { return free_; }
   std::uint64_t total_groups() const { return total_; }
@@ -104,6 +109,11 @@ class ChunkLog {
     return appended_alive_pages_ - live_pages_;
   }
   std::uint32_t allocated_segments() const { return allocated_segments_; }
+
+  /// Debug probe: recomputes live/appended/allocated accounting from the
+  /// page table and per-segment records and asserts the cached counters
+  /// match.  Returns true so tests can write EXPECT_TRUE(log.check_...).
+  bool check_invariants() const;
 
  private:
   struct Segment {

@@ -8,11 +8,20 @@
 namespace uc::essd {
 
 EssdDevice::EssdDevice(sim::Simulator& sim, const EssdConfig& cfg)
+    : EssdDevice(sim, cfg, nullptr, 0) {}
+
+EssdDevice::EssdDevice(sim::Simulator& sim, const EssdConfig& cfg,
+                       ebs::StorageCluster& shared, ebs::VolumeId volume)
+    : EssdDevice(sim, cfg, &shared, volume) {}
+
+EssdDevice::EssdDevice(sim::Simulator& sim, const EssdConfig& cfg,
+                       ebs::StorageCluster* shared, ebs::VolumeId volume)
     : sim_(sim),
       cfg_(cfg),
       rng_(cfg.seed),
       frontend_write_(cfg.frontend_write),
-      frontend_read_(cfg.frontend_read) {
+      frontend_read_(cfg.frontend_read),
+      volume_(volume) {
   UC_ASSERT(cfg_.validate().is_ok(), "invalid ESSD configuration");
   info_.name = cfg_.name;
   info_.capacity_bytes = cfg_.capacity_bytes;
@@ -20,8 +29,20 @@ EssdDevice::EssdDevice(sim::Simulator& sim, const EssdConfig& cfg)
   info_.guaranteed_bw_gbs = cfg_.guaranteed_bw_gbs;
   info_.guaranteed_iops = cfg_.guaranteed_iops;
   qos_ = std::make_unique<QosGate>(sim_, cfg_.qos);
-  cluster_ = std::make_unique<ebs::StorageCluster>(sim_, cfg_.cluster,
-                                                   cfg_.capacity_bytes);
+  if (shared == nullptr) {
+    owned_cluster_ = std::make_unique<ebs::StorageCluster>(sim_, cfg_.cluster,
+                                                           cfg_.capacity_bytes);
+    cluster_ = owned_cluster_.get();
+  } else {
+    // Fragmentation (for_each_fragment) follows cfg_.cluster.chunk_bytes,
+    // so it must agree with the cluster actually serving the volume.
+    UC_ASSERT(cfg_.cluster.chunk_bytes == shared->chunk_bytes(),
+              "shared-cluster chunk size differs from the device config");
+    UC_ASSERT(volume < shared->volume_count() &&
+                  shared->volume_bytes(volume) == cfg_.capacity_bytes,
+              "volume not attached with this device's capacity");
+    cluster_ = shared;
+  }
 }
 
 int EssdDevice::for_each_fragment(
@@ -103,9 +124,9 @@ void EssdDevice::submit(const IoRequest& req, CompletionFn done) {
                 if (is_write) {
                   const WriteStamp first = stamp_counter_ + 1;
                   stamp_counter_ += len / kLogicalPageBytes;
-                  cluster_->write(at, len, first, on_frag);
+                  cluster_->write(volume_, at, len, first, on_frag);
                 } else {
-                  cluster_->read(at, len, on_frag);
+                  cluster_->read(volume_, at, len, on_frag);
                 }
               });
         });
@@ -127,7 +148,7 @@ void EssdDevice::submit(const IoRequest& req, CompletionFn done) {
       ++io_stats_.trims;
       for_each_fragment(req.offset, req.bytes,
                         [&](ByteOffset at, std::uint32_t len) {
-                          cluster_->trim(at, len);
+                          cluster_->trim(volume_, at, len);
                         });
       const SimTime fw = frontend_write_.sample(rng_, 0);
       sim_.schedule_after(fw, [this, req, submit_time,

@@ -34,7 +34,16 @@ struct EssdIoStats {
 
 class EssdDevice : public BlockDevice {
  public:
+  /// Owns a private single-volume cluster (the original construction path).
   EssdDevice(sim::Simulator& sim, const EssdConfig& cfg);
+
+  /// Multi-tenant path: borrows `shared` (which outlives the device) and
+  /// serves `cfg.capacity_bytes` from the already-attached `volume`.  The
+  /// QoS gate and frontend stay per-device — per-tenant budgets over shared
+  /// cluster resources.  `cfg.cluster` must match the shared cluster's
+  /// chunk geometry; the rest of `cfg.cluster` is ignored.
+  EssdDevice(sim::Simulator& sim, const EssdConfig& cfg,
+             ebs::StorageCluster& shared, ebs::VolumeId volume);
 
   const DeviceInfo& info() const override { return info_; }
   void submit(const IoRequest& req, CompletionFn done) override;
@@ -43,6 +52,7 @@ class EssdDevice : public BlockDevice {
   const QosGate& qos() const { return *qos_; }
   const ebs::StorageCluster& cluster() const { return *cluster_; }
   ebs::StorageCluster& cluster() { return *cluster_; }
+  ebs::VolumeId volume() const { return volume_; }
 
  private:
   /// Splits [offset, offset+bytes) into chunk-aligned fragments and invokes
@@ -52,6 +62,9 @@ class EssdDevice : public BlockDevice {
   void complete(const IoRequest& req, SimTime submit_time,
                 const CompletionFn& done);
 
+  EssdDevice(sim::Simulator& sim, const EssdConfig& cfg,
+             ebs::StorageCluster* shared, ebs::VolumeId volume);
+
   sim::Simulator& sim_;
   EssdConfig cfg_;
   DeviceInfo info_;
@@ -60,7 +73,9 @@ class EssdDevice : public BlockDevice {
   sim::LatencyModel frontend_read_;
   sim::SerialResource frontend_pipe_;
   std::unique_ptr<QosGate> qos_;
-  std::unique_ptr<ebs::StorageCluster> cluster_;
+  std::unique_ptr<ebs::StorageCluster> owned_cluster_;  ///< null when shared
+  ebs::StorageCluster* cluster_ = nullptr;
+  ebs::VolumeId volume_ = 0;
   EssdIoStats io_stats_;
   WriteStamp stamp_counter_ = 0;
 };

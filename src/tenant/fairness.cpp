@@ -1,0 +1,100 @@
+#include "tenant/fairness.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/strfmt.h"
+#include "common/table.h"
+
+namespace uc::tenant {
+
+double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero allocations are trivially fair
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+FairnessReport build_fairness_report(
+    const std::vector<TenantSpec>& specs,
+    const std::vector<wl::JobStats>& colocated,
+    const std::vector<wl::JobStats>& solo) {
+  UC_ASSERT(specs.size() == colocated.size(),
+            "one colocated result per tenant required");
+  UC_ASSERT(solo.empty() || solo.size() == specs.size(),
+            "solo baselines must match the tenant list");
+  FairnessReport report;
+  report.has_solo_baselines = !solo.empty();
+  report.tenants.reserve(specs.size());
+  std::vector<double> throughputs;
+  throughputs.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const wl::JobStats& s = colocated[i];
+    TenantMetrics m;
+    m.name = specs[i].name;
+    m.ops = s.total_ops();
+    m.mean_us = s.all_latency.mean() / 1e3;
+    m.p50_us = static_cast<double>(s.all_latency.percentile(50.0)) / 1e3;
+    m.p99_us = static_cast<double>(s.all_latency.percentile(99.0)) / 1e3;
+    m.p999_us = static_cast<double>(s.all_latency.percentile(99.9)) / 1e3;
+    m.throughput_gbs = s.throughput_gbs();
+    if (!solo.empty()) {
+      m.solo_p99_us =
+          static_cast<double>(solo[i].all_latency.percentile(99.0)) / 1e3;
+      m.solo_gbs = solo[i].throughput_gbs();
+      m.interference = m.solo_p99_us > 0.0 ? m.p99_us / m.solo_p99_us : 0.0;
+    }
+    report.aggregate_gbs += m.throughput_gbs;
+    throughputs.push_back(m.throughput_gbs);
+    report.tenants.push_back(std::move(m));
+  }
+  for (TenantMetrics& m : report.tenants) {
+    m.share = report.aggregate_gbs > 0.0
+                  ? m.throughput_gbs / report.aggregate_gbs
+                  : 0.0;
+  }
+  report.jain_index = jain_index(throughputs);
+  return report;
+}
+
+std::string FairnessReport::to_table() const {
+  const bool with_solo = has_solo_baselines;
+  std::vector<std::string> header = {"tenant", "ops",   "GB/s",
+                                     "share",  "p50us", "p99us",
+                                     "p99.9us"};
+  if (with_solo) {
+    header.push_back("solo-p99us");
+    header.push_back("interf");
+  }
+  TextTable table(std::move(header));
+  for (std::size_t c = 1; c < (with_solo ? 9u : 7u); ++c) {
+    table.set_align(c, TextTable::Align::kRight);
+  }
+  for (const TenantMetrics& m : tenants) {
+    std::vector<std::string> row = {
+        m.name,
+        strfmt("%llu", static_cast<unsigned long long>(m.ops)),
+        strfmt("%.3f", m.throughput_gbs),
+        strfmt("%.1f%%", m.share * 100.0),
+        strfmt("%.0f", m.p50_us),
+        strfmt("%.0f", m.p99_us),
+        strfmt("%.0f", m.p999_us)};
+    if (with_solo) {
+      row.push_back(strfmt("%.0f", m.solo_p99_us));
+      row.push_back(strfmt("%.2fx", m.interference));
+    }
+    table.add_row(std::move(row));
+  }
+  std::string out = table.to_string();
+  out += strfmt("aggregate %.3f GB/s, Jain fairness index %.4f\n",
+                aggregate_gbs, jain_index);
+  return out;
+}
+
+}  // namespace uc::tenant

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file fairness.h
+/// Per-tenant isolation metrics for colocated runs: latency percentiles,
+/// throughput share, Jain's fairness index, and the interference ratio
+/// against each tenant's solo baseline (same device config, private
+/// cluster).  An interference ratio of 1.0 means colocation was invisible;
+/// a noisy neighbour shows up as the victim's ratio exploding while the
+/// fairness index of a symmetric workload should stay ~1.0.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tenant/tenant.h"
+#include "workload/runner.h"
+
+namespace uc::tenant {
+
+struct TenantMetrics {
+  std::string name;
+  std::uint64_t ops = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double throughput_gbs = 0.0;
+  double share = 0.0;  ///< fraction of the aggregate colocated throughput
+
+  // Solo baseline (zeros when no baseline was run).
+  double solo_p99_us = 0.0;
+  double solo_gbs = 0.0;
+  /// Colocated p99 / solo p99 — how much colocation inflated the tail.
+  double interference = 0.0;
+};
+
+struct FairnessReport {
+  std::vector<TenantMetrics> tenants;
+  /// Jain's index over per-tenant throughput: 1.0 = perfectly fair,
+  /// 1/N = one tenant starved the rest.
+  double jain_index = 0.0;
+  double aggregate_gbs = 0.0;
+  bool has_solo_baselines = false;
+
+  /// Paper-style ASCII table via common/table.
+  std::string to_table() const;
+};
+
+/// Builds the report from a colocated run (and optional per-tenant solo
+/// baselines, same order; pass an empty vector to skip the interference
+/// columns).
+FairnessReport build_fairness_report(const std::vector<TenantSpec>& specs,
+                                     const std::vector<wl::JobStats>& colocated,
+                                     const std::vector<wl::JobStats>& solo);
+
+/// Jain's fairness index over any non-negative allocation vector.
+double jain_index(const std::vector<double>& xs);
+
+}  // namespace uc::tenant

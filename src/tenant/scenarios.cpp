@@ -1,0 +1,231 @@
+#include "tenant/scenarios.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "essd/essd_config.h"
+
+namespace uc::tenant {
+
+using namespace units;
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kNoisyNeighbor:
+      return "noisy-neighbor";
+    case Scenario::kFairShare:
+      return "fair-share";
+    case Scenario::kCleanerPressure:
+      return "cleaner-pressure";
+    case Scenario::kBurstCollision:
+      return "burst-collision";
+  }
+  return "unknown";
+}
+
+const char* scenario_blurb(Scenario s) {
+  switch (s) {
+    case Scenario::kNoisyNeighbor:
+      return "a write hog saturates shared pipes; QD1 readers' p99 inflates "
+             "despite untouched QoS budgets";
+    case Scenario::kFairShare:
+      return "identical tenants split the cluster near-equally (Jain ~1.0)";
+    case Scenario::kCleanerPressure:
+      return "per-tenant loads fit solo, but the aggregate outruns the "
+             "cleaner and the GC cliff reappears cluster-wide";
+    case Scenario::kBurstCollision:
+      return "simultaneous burst credits oversubscribe a cluster that "
+             "comfortably serves the sustained budgets";
+  }
+  return "unknown";
+}
+
+std::vector<Scenario> all_scenarios() {
+  return {Scenario::kNoisyNeighbor, Scenario::kFairShare,
+          Scenario::kCleanerPressure, Scenario::kBurstCollision};
+}
+
+namespace {
+
+struct Built {
+  essd::EssdConfig base;
+  std::vector<TenantSpec> tenants;
+};
+
+// Shared-cluster base: the io2-class mechanism profile with the spare pool
+// reinterpreted as the *cluster-wide* headroom all tenants draw from.
+essd::EssdConfig scenario_base(std::uint64_t any_tenant_capacity,
+                               std::uint64_t cluster_spare_bytes) {
+  essd::EssdConfig base = essd::aws_io2_profile(any_tenant_capacity);
+  base.cluster.spare_pool_bytes = cluster_spare_bytes;
+  return base;
+}
+
+essd::QosConfig qos_budget(double bytes_per_s, double burst_s) {
+  essd::QosConfig qos;
+  qos.bw_bytes_per_s = bytes_per_s;
+  qos.bw_burst_s = burst_s;
+  qos.iops = 100000.0;
+  qos.iops_burst_s = 30.0;
+  return qos;
+}
+
+Built build_noisy_neighbor(const ScenarioOptions& opt) {
+  const std::uint64_t cap = opt.quick ? 128 * kMiB : 256 * kMiB;
+  const SimTime duration = opt.quick ? kSec / 2 : 2 * kSec;
+  Built b{scenario_base(cap, 2 * cap), {}};
+
+  TenantSpec hog;
+  hog.name = "hog";
+  hog.capacity_bytes = cap;
+  // A top-tier budget: the hog is allowed to flood the shared uplink.
+  hog.qos = qos_budget(4.0e9, 0.05);
+  hog.job.name = "hog-randwrite";
+  hog.job.pattern = wl::AccessPattern::kRandom;
+  hog.job.io_bytes = 256 * 1024;
+  hog.job.queue_depth = 32;
+  hog.job.write_ratio = 1.0;
+  hog.job.duration = duration;
+  hog.job.seed = opt.seed ^ 0x5109;
+  b.tenants.push_back(hog);
+
+  for (int i = 0; i < 2; ++i) {
+    TenantSpec victim;
+    victim.name = i == 0 ? "victim-a" : "victim-b";
+    victim.capacity_bytes = cap;
+    victim.qos = qos_budget(1.0e9, 0.05);
+    victim.precondition_bytes = cap;  // reads must hit media, not zeros
+    victim.job.name = victim.name + "-qd1-read";
+    victim.job.pattern = wl::AccessPattern::kRandom;
+    victim.job.io_bytes = 4096;
+    victim.job.queue_depth = 1;
+    victim.job.write_ratio = 0.0;
+    victim.job.duration = duration;
+    victim.job.seed = opt.seed ^ (0xace0ull + static_cast<unsigned>(i));
+    b.tenants.push_back(victim);
+  }
+  return b;
+}
+
+Built build_fair_share(const ScenarioOptions& opt) {
+  const std::uint64_t cap = opt.quick ? 128 * kMiB : 256 * kMiB;
+  const SimTime duration = opt.quick ? kSec / 2 : 2 * kSec;
+  // Generous spare: this is the healthy-colocation case, so the aggregate
+  // load must stay clear of the cleaner cliff that cleaner-pressure shows.
+  Built b{scenario_base(cap, 8 * cap), {}};
+  for (int i = 0; i < 3; ++i) {
+    TenantSpec t;
+    t.name = std::string("tenant-") + static_cast<char>('a' + i);
+    t.capacity_bytes = cap;
+    t.qos = qos_budget(0.35e9, 0.05);
+    t.job.name = t.name + "-randwrite";
+    t.job.pattern = wl::AccessPattern::kRandom;
+    t.job.io_bytes = 64 * 1024;
+    t.job.queue_depth = 8;
+    t.job.write_ratio = 1.0;
+    t.job.duration = duration;
+    t.job.seed = opt.seed ^ (0xfa1ull + static_cast<unsigned>(i));
+    b.tenants.push_back(std::move(t));
+  }
+  return b;
+}
+
+Built build_cleaner_pressure(const ScenarioOptions& opt) {
+  const std::uint64_t cap = opt.quick ? 128 * kMiB : 192 * kMiB;
+  const SimTime duration = opt.quick ? 3 * kSec / 2 : 3 * kSec;
+  // Tight cluster-wide spare and a cleaner that keeps up with any single
+  // tenant (250 MB/s load vs 300 MB/s cleaning) but not with three.
+  Built b{scenario_base(cap, cap / 2), {}};
+  b.base.cluster.cleaner.processing_mbps = 300.0;
+  for (int i = 0; i < 3; ++i) {
+    TenantSpec t;
+    t.name = std::string("overwriter-") + static_cast<char>('a' + i);
+    t.capacity_bytes = cap;
+    t.qos = qos_budget(250.0e6, 0.05);  // well under budget individually
+    t.job.name = t.name + "-overwrite";
+    t.job.pattern = wl::AccessPattern::kRandom;
+    t.job.io_bytes = 256 * 1024;
+    t.job.queue_depth = 16;
+    t.job.write_ratio = 1.0;
+    t.job.duration = duration;
+    t.job.seed = opt.seed ^ (0xc1eaull + static_cast<unsigned>(i));
+    b.tenants.push_back(std::move(t));
+  }
+  return b;
+}
+
+Built build_burst_collision(const ScenarioOptions& opt) {
+  const std::uint64_t cap = opt.quick ? 128 * kMiB : 256 * kMiB;
+  const SimTime duration = opt.quick ? kSec : 2 * kSec;
+  Built b{scenario_base(cap, 3 * cap), {}};
+  // Halve the shared uplink: the sustained budgets (3 x 0.4 GB/s) fit
+  // comfortably, the collective burst does not.
+  b.base.cluster.fabric.vm_nic_mbps = 6000.0;
+  for (int i = 0; i < 3; ++i) {
+    TenantSpec t;
+    t.name = std::string("burster-") + static_cast<char>('a' + i);
+    t.capacity_bytes = cap;
+    // One full second of budget banked as burst credit, all cashed at t=0.
+    t.qos = qos_budget(0.4e9, 1.0);
+    t.job.name = t.name + "-burstwrite";
+    t.job.pattern = wl::AccessPattern::kRandom;
+    t.job.io_bytes = 128 * 1024;
+    t.job.queue_depth = 16;
+    t.job.write_ratio = 1.0;
+    t.job.duration = duration;
+    t.job.seed = opt.seed ^ (0xb1a57ull + static_cast<unsigned>(i));
+    b.tenants.push_back(std::move(t));
+  }
+  return b;
+}
+
+Built build(Scenario s, const ScenarioOptions& opt) {
+  switch (s) {
+    case Scenario::kNoisyNeighbor:
+      return build_noisy_neighbor(opt);
+    case Scenario::kFairShare:
+      return build_fair_share(opt);
+    case Scenario::kCleanerPressure:
+      return build_cleaner_pressure(opt);
+    case Scenario::kBurstCollision:
+      return build_burst_collision(opt);
+  }
+  UC_ASSERT(false, "unknown scenario");
+  return Built{};
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt) {
+  Built b = build(s, opt);
+  ScenarioResult result;
+  result.scenario = s;
+  result.tenants = b.tenants;
+
+  sim::Simulator sim;
+  SharedClusterHost host(sim, b.base, b.tenants);
+  HostResult colocated = host.run();
+  host.cluster().check_invariants();
+  // Report the measured window only: the precondition fill phase is
+  // excluded from the makespan and already subtracted from the stats.
+  result.makespan = colocated.makespan - colocated.measure_start;
+  result.cluster = colocated.cluster;
+  result.cleaner = colocated.cleaner;
+  result.colocated = std::move(colocated.stats);
+
+  if (opt.solo_baselines) {
+    result.solo.reserve(b.tenants.size());
+    for (std::size_t i = 0; i < b.tenants.size(); ++i) {
+      result.solo.push_back(
+          SharedClusterHost::run_solo(b.base, b.tenants[i], i));
+    }
+  }
+  result.report =
+      build_fairness_report(b.tenants, result.colocated, result.solo);
+  return result;
+}
+
+}  // namespace uc::tenant

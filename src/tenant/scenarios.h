@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file scenarios.h
+/// Canned multi-tenant colocation scenarios.
+///
+/// Each scenario builds a shared cluster, colocates a small tenant mix,
+/// runs it, optionally reruns every tenant solo on a private cluster (the
+/// interference baseline), and condenses the outcome into a
+/// `FairnessReport` plus the cluster-side counters.
+///
+/// The catalogue:
+/// - **noisy-neighbour** — one random-write hog saturating the shared
+///   block-server uplink and node pipelines vs. latency-sensitive QD1
+///   readers; the victims' p99 inflates although their own QoS budgets are
+///   nowhere near exhausted.
+/// - **fair-share** — identical tenants with identical budgets; throughput
+///   shares must come out near-equal (Jain index ~1.0).
+/// - **cleaner-pressure** — every tenant's overwrite load fits under its
+///   own budget and under the cleaner solo, but the *aggregate* outruns the
+///   cleaner, the shared spare pool drains, and the paper's GC cliff
+///   (Observation 2) reappears cluster-wide.
+/// - **burst-collision** — all tenants' QoS burst credits fire at t=0; the
+///   collective burst oversubscribes the cluster that comfortably serves
+///   the sustained budgets, so tails spike exactly when everyone bursts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "ebs/cleaner.h"
+#include "ebs/cluster.h"
+#include "tenant/fairness.h"
+#include "tenant/tenant.h"
+
+namespace uc::tenant {
+
+enum class Scenario {
+  kNoisyNeighbor,
+  kFairShare,
+  kCleanerPressure,
+  kBurstCollision,
+};
+
+const char* scenario_name(Scenario s);
+/// One-line interpretation for reports and docs.
+const char* scenario_blurb(Scenario s);
+std::vector<Scenario> all_scenarios();
+
+struct ScenarioOptions {
+  bool quick = false;           ///< smaller volumes and shorter duration
+  bool solo_baselines = true;   ///< compute interference ratios
+  std::uint64_t seed = 42;      ///< workload seed base
+};
+
+struct ScenarioResult {
+  Scenario scenario = Scenario::kFairShare;
+  std::vector<TenantSpec> tenants;
+  std::vector<wl::JobStats> colocated;
+  std::vector<wl::JobStats> solo;  ///< empty when baselines disabled
+  FairnessReport report;
+  /// Shared-cluster activity during the measured window (precondition fill
+  /// excluded), so the numbers diff cleanly across runs and PRs.
+  ebs::ClusterStats cluster;
+  ebs::CleanerStats cleaner;
+  SimTime makespan = 0;  ///< measured-window duration
+};
+
+/// Builds, runs, and analyzes one scenario.
+ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt = {});
+
+}  // namespace uc::tenant

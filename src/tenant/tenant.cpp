@@ -1,0 +1,146 @@
+#include "tenant/tenant.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace uc::tenant {
+
+essd::EssdConfig SharedClusterHost::tenant_config(const essd::EssdConfig& base,
+                                                  const TenantSpec& spec,
+                                                  std::size_t index) {
+  essd::EssdConfig cfg = base;
+  cfg.name = spec.name;
+  cfg.capacity_bytes = spec.capacity_bytes;
+  cfg.qos = spec.qos;
+  cfg.guaranteed_bw_gbs = spec.qos.bw_bytes_per_s / 1e9;
+  cfg.guaranteed_iops = spec.qos.iops;
+  // Distinct frontend jitter stream per tenant; tenant 0 keeps the base
+  // seed so a one-tenant host reproduces the solo device exactly.  Using
+  // ebs::kVolumeSeedStride keeps a solo baseline's chunk placement (volume
+  // 0 of a cluster seeded base + stride*i) identical to the placement the
+  // tenant had as volume i of the shared cluster.
+  cfg.seed = base.seed + ebs::kVolumeSeedStride * index;
+  cfg.cluster.seed = base.cluster.seed + ebs::kVolumeSeedStride * index;
+  return cfg;
+}
+
+SharedClusterHost::SharedClusterHost(sim::Simulator& sim,
+                                     const essd::EssdConfig& base,
+                                     std::vector<TenantSpec> tenants)
+    : sim_(sim), base_(base), tenants_(std::move(tenants)) {
+  UC_ASSERT(!tenants_.empty(), "host needs at least one tenant");
+  cluster_ = std::make_unique<ebs::StorageCluster>(sim_, base_.cluster);
+  devices_.reserve(tenants_.size());
+  runners_.reserve(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const TenantSpec& t = tenants_[i];
+    const ebs::VolumeId vol = cluster_->attach_volume(t.capacity_bytes);
+    devices_.push_back(std::make_unique<essd::EssdDevice>(
+        sim_, tenant_config(base_, t, i), *cluster_, vol));
+    runners_.push_back(
+        std::make_unique<wl::JobRunner>(sim_, *devices_.back(), t.job));
+  }
+}
+
+namespace {
+
+// Sequential fill covering the measured job's region, capped by the spec's
+// `precondition_bytes`.
+wl::JobSpec precondition_spec(const TenantSpec& t) {
+  wl::JobSpec spec;
+  spec.name = t.name + "-precondition";
+  spec.pattern = wl::AccessPattern::kSequential;
+  spec.io_bytes = 256 * 1024;
+  spec.queue_depth = 16;
+  spec.write_ratio = 1.0;
+  spec.region_offset = t.job.region_offset;
+  spec.region_bytes = t.job.region_bytes;
+  spec.total_bytes = t.precondition_bytes;
+  spec.seed = t.job.seed ^ 0x9c0d171051ull;
+  return spec;
+}
+
+void run_preconditions(sim::Simulator& sim,
+                       const std::vector<TenantSpec>& tenants,
+                       const std::function<BlockDevice&(std::size_t)>& device) {
+  std::vector<std::unique_ptr<wl::JobRunner>> fills;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (tenants[i].precondition_bytes == 0) continue;
+    fills.push_back(std::make_unique<wl::JobRunner>(
+        sim, device(i), precondition_spec(tenants[i])));
+    fills.back()->start();
+  }
+  if (!fills.empty()) sim.run();
+}
+
+ebs::ClusterStats subtract(const ebs::ClusterStats& a,
+                           const ebs::ClusterStats& b) {
+  ebs::ClusterStats d;
+  d.writes = a.writes - b.writes;
+  d.written_pages = a.written_pages - b.written_pages;
+  d.reads = a.reads - b.reads;
+  d.read_pages = a.read_pages - b.read_pages;
+  d.cache_hit_pages = a.cache_hit_pages - b.cache_hit_pages;
+  d.media_read_pages = a.media_read_pages - b.media_read_pages;
+  d.unwritten_read_pages = a.unwritten_read_pages - b.unwritten_read_pages;
+  d.readahead_fetches = a.readahead_fetches - b.readahead_fetches;
+  d.trims = a.trims - b.trims;
+  d.trimmed_pages = a.trimmed_pages - b.trimmed_pages;
+  d.stalled_writes = a.stalled_writes - b.stalled_writes;
+  d.append_stall_ns = a.append_stall_ns - b.append_stall_ns;
+  return d;
+}
+
+ebs::CleanerStats subtract(const ebs::CleanerStats& a,
+                           const ebs::CleanerStats& b) {
+  ebs::CleanerStats d;
+  d.segments_cleaned = a.segments_cleaned - b.segments_cleaned;
+  d.pages_relocated = a.pages_relocated - b.pages_relocated;
+  d.bytes_processed = a.bytes_processed - b.bytes_processed;
+  return d;
+}
+
+}  // namespace
+
+HostResult SharedClusterHost::run() {
+  UC_ASSERT(!ran_, "host already ran");
+  ran_ = true;
+  run_preconditions(sim_, tenants_,
+                    [this](std::size_t i) -> BlockDevice& {
+                      return *devices_[i];
+                    });
+  HostResult result;
+  result.measure_start = sim_.now();
+  const ebs::ClusterStats cluster_before = cluster_->stats();
+  const ebs::CleanerStats cleaner_before = cluster_->cleaner().stats();
+  for (auto& runner : runners_) runner->start();
+  sim_.run();
+  result.stats.reserve(runners_.size());
+  for (auto& runner : runners_) {
+    UC_ASSERT(runner->finished(), "simulator drained but a tenant job hung");
+    result.stats.push_back(runner->stats());
+    if (runner->stats().last_complete > result.makespan) {
+      result.makespan = runner->stats().last_complete;
+    }
+  }
+  result.cluster = subtract(cluster_->stats(), cluster_before);
+  result.cleaner = subtract(cluster_->cleaner().stats(), cleaner_before);
+  return result;
+}
+
+wl::JobStats SharedClusterHost::run_solo(const essd::EssdConfig& base,
+                                         const TenantSpec& spec,
+                                         std::size_t index) {
+  sim::Simulator sim;
+  essd::EssdDevice device(sim, tenant_config(base, spec, index));
+  const std::vector<TenantSpec> one = {spec};
+  run_preconditions(sim, one,
+                    [&device](std::size_t) -> BlockDevice& { return device; });
+  return wl::JobRunner::run_to_completion(sim, device, spec.job);
+}
+
+}  // namespace uc::tenant

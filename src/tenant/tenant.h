@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file tenant.h
+/// Multi-tenant hosting: N ESSD volumes on one shared `StorageCluster`.
+///
+/// The paper measures a single volume, but its mechanisms — the shared QoS
+/// budget (Observation 4) and the off-critical-path cleaner (Observation 2)
+/// — exist because real EBS clusters multiplex many tenants over shared
+/// nodes, fabric, and spare capacity.  `SharedClusterHost` builds that
+/// colocation: one cluster, one fabric, one segment pool and cleaner, and a
+/// per-tenant `EssdDevice` (own QoS gate and frontend) + `JobRunner` per
+/// attached volume, all advancing on one simulator.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "ebs/cluster.h"
+#include "essd/essd_device.h"
+#include "essd/qos.h"
+#include "workload/runner.h"
+#include "workload/spec.h"
+
+namespace uc::tenant {
+
+/// One tenant: a volume of `capacity_bytes`, a provisioned QoS profile, and
+/// the workload the tenant runs against it.
+struct TenantSpec {
+  std::string name = "tenant";
+  std::uint64_t capacity_bytes = 0;
+  essd::QosConfig qos;
+  wl::JobSpec job;
+
+  /// Bytes to write sequentially into the job's region before the measured
+  /// job starts (so read workloads hit media-backed data, not metadata
+  /// zeros).  All tenants precondition concurrently, then the cluster
+  /// drains before any measured job begins.
+  std::uint64_t precondition_bytes = 0;
+};
+
+/// Per-tenant outcome of a colocated (or solo-baseline) run.
+struct HostResult {
+  std::vector<wl::JobStats> stats;  ///< per tenant, in spec order
+  SimTime makespan = 0;             ///< latest completion across tenants
+  SimTime measure_start = 0;        ///< when measured jobs began (after fill)
+  /// Cluster/cleaner activity within the measured window only — the
+  /// precondition fill phase is subtracted out, so these diff cleanly
+  /// across runs and PRs.
+  ebs::ClusterStats cluster;
+  ebs::CleanerStats cleaner;
+};
+
+/// Builds the shared cluster from `base.cluster` (so `spare_pool_bytes` is
+/// the *cluster-wide* headroom), attaches one volume per tenant, and runs
+/// every tenant's job concurrently on the host's simulator.  Frontend and
+/// cluster latency parameters come from `base`; capacity, QoS, and workload
+/// come from each `TenantSpec`.
+class SharedClusterHost {
+ public:
+  SharedClusterHost(sim::Simulator& sim, const essd::EssdConfig& base,
+                    std::vector<TenantSpec> tenants);
+
+  /// Starts every tenant's runner, drains the simulator, and collects the
+  /// per-tenant stats.
+  HostResult run();
+
+  std::size_t tenant_count() const { return tenants_.size(); }
+  const TenantSpec& spec(std::size_t i) const { return tenants_[i]; }
+  const ebs::StorageCluster& cluster() const { return *cluster_; }
+  const essd::EssdDevice& device(std::size_t i) const { return *devices_[i]; }
+
+  /// Derives tenant `i`'s device config from the host's base profile
+  /// (shared by the colocated run and the solo baseline, so the two differ
+  /// only in colocation).
+  static essd::EssdConfig tenant_config(const essd::EssdConfig& base,
+                                        const TenantSpec& spec,
+                                        std::size_t index);
+
+  /// Solo baseline: the same tenant, alone on a private cluster built from
+  /// the same base profile — the denominator of the interference ratio.
+  static wl::JobStats run_solo(const essd::EssdConfig& base,
+                               const TenantSpec& spec, std::size_t index);
+
+ private:
+  sim::Simulator& sim_;
+  essd::EssdConfig base_;
+  std::vector<TenantSpec> tenants_;
+  std::unique_ptr<ebs::StorageCluster> cluster_;
+  std::vector<std::unique_ptr<essd::EssdDevice>> devices_;
+  std::vector<std::unique_ptr<wl::JobRunner>> runners_;
+  bool ran_ = false;
+};
+
+}  // namespace uc::tenant

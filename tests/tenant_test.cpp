@@ -1,0 +1,214 @@
+// Multi-tenant subsystem tests: volume isolation on a shared cluster,
+// segment-pool/stats reconciliation, fair-share fairness, and
+// noisy-neighbour interference against the solo baseline.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "ebs/cluster.h"
+#include "essd/essd_config.h"
+#include "tenant/fairness.h"
+#include "tenant/scenarios.h"
+#include "tenant/tenant.h"
+#include "workload/runner.h"
+
+namespace uc {
+namespace {
+
+using namespace units;
+
+ebs::ClusterConfig small_cluster() {
+  ebs::ClusterConfig cfg;
+  cfg.fabric.nodes = 6;
+  cfg.fabric.vm_nic_mbps = 4000.0;
+  cfg.fabric.node_nic_mbps = 2000.0;
+  cfg.fabric.hop = sim::LatencyModelConfig{.base_us = 10.0};
+  cfg.chunk_bytes = 4 * kMiB;
+  cfg.segment_bytes = 1 * kMiB;
+  cfg.replication = 3;
+  cfg.spare_pool_bytes = 32 * kMiB;
+  cfg.replica_write = sim::LatencyModelConfig{.base_us = 20.0};
+  cfg.replica_read = sim::LatencyModelConfig{.base_us = 60.0};
+  cfg.node_cache_pages = 64;
+  cfg.seed = 3;
+  return cfg;
+}
+
+void write_sync(sim::Simulator& sim, ebs::StorageCluster& cluster,
+                ebs::VolumeId vol, ByteOffset off, std::uint32_t bytes,
+                WriteStamp first) {
+  bool done = false;
+  cluster.write(vol, off, bytes, first, [&] { done = true; });
+  sim.run();
+  ASSERT_TRUE(done);
+}
+
+TEST(SharedCluster, VolumesAreIsolated) {
+  sim::Simulator sim;
+  ebs::StorageCluster cluster(sim, small_cluster());
+  const auto a = cluster.attach_volume(16 * kMiB);
+  const auto b = cluster.attach_volume(16 * kMiB);
+  ASSERT_EQ(cluster.volume_count(), 2u);
+
+  // Tenant A writes; tenant B's identical offsets stay unwritten.
+  write_sync(sim, cluster, a, 0, 16384, /*first=*/100);
+  EXPECT_TRUE(cluster.is_written(a, 0));
+  EXPECT_TRUE(cluster.is_written(a, 12288));
+  EXPECT_FALSE(cluster.is_written(b, 0));
+  EXPECT_FALSE(cluster.is_written(b, 12288));
+
+  // Tenant B writes the same offsets with different stamps; A's data keeps
+  // its own stamps.
+  write_sync(sim, cluster, b, 0, 16384, /*first=*/900);
+  EXPECT_EQ(cluster.page_stamp(a, 0), 100u);
+  EXPECT_EQ(cluster.page_stamp(a, 12288), 103u);
+  EXPECT_EQ(cluster.page_stamp(b, 0), 900u);
+  EXPECT_EQ(cluster.page_stamp(b, 12288), 903u);
+
+  // Per-volume stats split while the cluster totals aggregate.
+  EXPECT_EQ(cluster.volume_stats(a).written_pages, 4u);
+  EXPECT_EQ(cluster.volume_stats(b).written_pages, 4u);
+  EXPECT_EQ(cluster.stats().written_pages, 8u);
+  EXPECT_TRUE(cluster.check_invariants());
+}
+
+TEST(SharedCluster, TrimReconcilesWithPoolAccounting) {
+  sim::Simulator sim;
+  ebs::StorageCluster cluster(sim, small_cluster());
+  const auto a = cluster.attach_volume(16 * kMiB);
+  const auto b = cluster.attach_volume(16 * kMiB);
+
+  write_sync(sim, cluster, a, 0, 1 * kMiB, 1);
+  write_sync(sim, cluster, b, 0, 2 * kMiB, 1000);
+  EXPECT_EQ(cluster.live_pages(a), 256u);
+  EXPECT_EQ(cluster.live_pages(b), 512u);
+  EXPECT_EQ(cluster.live_pages(), 768u);
+
+  // Trim half of A: its garbage grows, B is untouched, and the cluster
+  // totals still reconcile with the segment pool.
+  cluster.trim(a, 0, 512 * kKiB);
+  EXPECT_EQ(cluster.live_pages(a), 128u);
+  EXPECT_EQ(cluster.garbage_pages(a), 128u);
+  EXPECT_EQ(cluster.volume_stats(a).trimmed_pages, 128u);
+  EXPECT_EQ(cluster.live_pages(b), 512u);
+  EXPECT_EQ(cluster.garbage_pages(b), 0u);
+  EXPECT_TRUE(cluster.check_invariants());
+
+  // Trimming unwritten pages is a no-op for the garbage accounting.
+  cluster.trim(b, 8 * kMiB, 1 * kMiB);
+  EXPECT_EQ(cluster.garbage_pages(b), 0u);
+  EXPECT_EQ(cluster.volume_stats(b).trimmed_pages, 0u);
+  EXPECT_TRUE(cluster.check_invariants());
+
+  // Overwrites create garbage that also must reconcile.
+  write_sync(sim, cluster, b, 0, 2 * kMiB, 2000);
+  EXPECT_EQ(cluster.live_pages(b), 512u);
+  EXPECT_EQ(cluster.garbage_pages(b), 512u);
+  EXPECT_TRUE(cluster.check_invariants());
+}
+
+TEST(SharedCluster, LegacySingleVolumePathIsVolumeZero) {
+  sim::Simulator sim;
+  ebs::StorageCluster cluster(sim, small_cluster(), 16 * kMiB);
+  EXPECT_EQ(cluster.volume_count(), 1u);
+  EXPECT_EQ(cluster.volume_bytes(0), 16 * kMiB);
+  bool done = false;
+  cluster.write(0, 4096, 1, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(cluster.is_written(0));        // legacy accessor
+  EXPECT_TRUE(cluster.is_written(0, 0));     // volume-qualified accessor
+  EXPECT_TRUE(cluster.check_invariants());
+}
+
+TEST(SharedClusterHost, RunsTenantsConcurrently) {
+  essd::EssdConfig base = essd::aws_io2_profile(64 * kMiB);
+  base.cluster.spare_pool_bytes = 128 * kMiB;
+  std::vector<tenant::TenantSpec> tenants(2);
+  for (int i = 0; i < 2; ++i) {
+    tenants[i].name = i == 0 ? "t0" : "t1";
+    tenants[i].capacity_bytes = 64 * kMiB;
+    tenants[i].qos.bw_bytes_per_s = 1.0e9;
+    tenants[i].job.pattern = wl::AccessPattern::kRandom;
+    tenants[i].job.io_bytes = 16384;
+    tenants[i].job.queue_depth = 4;
+    tenants[i].job.total_ops = 500;
+    tenants[i].job.seed = 11 + i;
+  }
+  sim::Simulator sim;
+  tenant::SharedClusterHost host(sim, base, tenants);
+  const auto result = host.run();
+  ASSERT_EQ(result.stats.size(), 2u);
+  EXPECT_EQ(result.stats[0].total_ops(), 500u);
+  EXPECT_EQ(result.stats[1].total_ops(), 500u);
+  EXPECT_GT(result.makespan, 0u);
+  EXPECT_TRUE(host.cluster().check_invariants());
+  // Both tenants really ran on the one cluster.
+  EXPECT_EQ(host.cluster().volume_count(), 2u);
+  EXPECT_EQ(host.cluster().stats().writes,
+            host.cluster().volume_stats(0).writes +
+                host.cluster().volume_stats(1).writes);
+}
+
+TEST(JainIndex, MatchesDefinition) {
+  EXPECT_DOUBLE_EQ(tenant::jain_index({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_NEAR(tenant::jain_index({1.0, 0.0, 0.0}), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(tenant::jain_index({4.0, 1.0}), 25.0 / 34.0, 1e-12);
+}
+
+TEST(Scenarios, FairShareIsFair) {
+  tenant::ScenarioOptions opt;
+  opt.quick = true;
+  const auto result =
+      tenant::run_scenario(tenant::Scenario::kFairShare, opt);
+  EXPECT_GE(result.report.jain_index, 0.95);
+  // Healthy colocation: nobody's tail explodes against their solo run.
+  for (const auto& m : result.report.tenants) {
+    EXPECT_LT(m.interference, 1.5) << m.name;
+  }
+}
+
+TEST(Scenarios, NoisyNeighborInflatesVictimTail) {
+  tenant::ScenarioOptions opt;
+  opt.quick = true;
+  const auto result =
+      tenant::run_scenario(tenant::Scenario::kNoisyNeighbor, opt);
+  int victims = 0;
+  for (const auto& m : result.report.tenants) {
+    if (m.name.rfind("victim", 0) != 0) continue;
+    ++victims;
+    EXPECT_GE(m.interference, 2.0) << m.name << " p99 " << m.p99_us
+                                   << "us vs solo " << m.solo_p99_us << "us";
+  }
+  EXPECT_EQ(victims, 2);
+}
+
+TEST(Scenarios, CleanerPressureStallsClusterWide) {
+  tenant::ScenarioOptions opt;
+  opt.quick = true;
+  opt.solo_baselines = false;  // the cliff signal lives in the cluster stats
+  const auto result =
+      tenant::run_scenario(tenant::Scenario::kCleanerPressure, opt);
+  EXPECT_GT(result.cluster.stalled_writes, 0u);
+  EXPECT_GT(result.cluster.append_stall_ns, 0u);
+  EXPECT_GT(result.cleaner.segments_cleaned, 0u);
+}
+
+TEST(Scenarios, BurstCollisionSpikesTails) {
+  tenant::ScenarioOptions opt;
+  opt.quick = true;
+  const auto result =
+      tenant::run_scenario(tenant::Scenario::kBurstCollision, opt);
+  // Everyone bursts together, so everyone's tail inflates vs. solo.
+  for (const auto& m : result.report.tenants) {
+    EXPECT_GE(m.interference, 1.5) << m.name;
+  }
+  // ...but the shares stay symmetric.
+  EXPECT_GE(result.report.jain_index, 0.95);
+}
+
+}  // namespace
+}  // namespace uc
