@@ -3,13 +3,28 @@
 // shared StorageCluster, prints per-tenant fairness tables, and emits the
 // shared JSON schema with --json <path>.
 //
+// Since the sched refactor this is also the isolation buy-back study:
+// `--sched fifo|wfq|prio` selects the queue discipline at every shared
+// resource (default: run FIFO plus both alternatives), `--weights a,b,c`
+// sets per-tenant WFQ weights, and the noisy-neighbour / fair-share /
+// cleaner-pressure scenarios are re-run per policy with the victim p99,
+// Jain index, and interference-ratio deltas against FIFO reported and
+// JSON-emitted.
+//
 // The headline checks mirror the subsystem's acceptance criteria: the
-// noisy-neighbour victims' colocated p99 must be >= 2x their solo baseline,
-// and fair-share must hold a Jain index >= 0.95.
+// noisy-neighbour victims' colocated p99 must be >= 2x their solo baseline
+// under FIFO, WFQ (equal weights) must improve the victims' interference
+// ratio by >= 25%, and fair-share must hold a Jain index >= 0.95.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "sched/sched.h"
 #include "tenant/scenarios.h"
 
 namespace uc {
@@ -32,9 +47,28 @@ bench::Json tenant_json(const tenant::TenantMetrics& m) {
   return t;
 }
 
+bench::Json fabric_json(const tenant::ScenarioResult& r) {
+  bench::Json f = bench::Json::object();
+  f.set("vm_tx_bytes", r.fabric.vm_tx_bytes);
+  f.set("vm_rx_bytes", r.fabric.vm_rx_bytes);
+  const double span = static_cast<double>(r.makespan);
+  f.set("vm_tx_util",
+        span > 0 ? static_cast<double>(r.fabric.vm_tx_busy_ns) / span : 0.0);
+  f.set("vm_rx_util",
+        span > 0 ? static_cast<double>(r.fabric.vm_rx_busy_ns) / span : 0.0);
+  bench::Json tx = bench::Json::array();
+  bench::Json rx = bench::Json::array();
+  for (const auto b : r.fabric.node_tx_bytes) tx.push(b);
+  for (const auto b : r.fabric.node_rx_bytes) rx.push(b);
+  f.set("node_tx_bytes", std::move(tx));
+  f.set("node_rx_bytes", std::move(rx));
+  return f;
+}
+
 bench::Json scenario_json(const tenant::ScenarioResult& r) {
   bench::Json s = bench::Json::object();
   s.set("name", tenant::scenario_name(r.scenario));
+  s.set("policy", sched::policy_name(r.policy));
   s.set("jain_index", r.report.jain_index);
   s.set("aggregate_gbs", r.report.aggregate_gbs);
   s.set("makespan_s", static_cast<double>(r.makespan) / 1e9);
@@ -45,11 +79,42 @@ bench::Json scenario_json(const tenant::ScenarioResult& r) {
   cluster.set("written_pages", r.cluster.written_pages);
   cluster.set("segments_cleaned", r.cleaner.segments_cleaned);
   cluster.set("pages_relocated", r.cleaner.pages_relocated);
+  bench::Json gc = bench::Json::array();
+  for (std::size_t i = 0; i < r.tenants.size(); ++i) {
+    gc.push(r.cleaner.tenant_segments_cleaned(static_cast<std::uint32_t>(i)));
+  }
+  cluster.set("tenant_segments_cleaned", std::move(gc));
   s.set("cluster", std::move(cluster));
+  s.set("fabric", fabric_json(r));
   bench::Json tenants = bench::Json::array();
   for (const auto& m : r.report.tenants) tenants.push(tenant_json(m));
   s.set("tenants", std::move(tenants));
   return s;
+}
+
+double worst_victim_interference(const tenant::ScenarioResult& r) {
+  double worst = 0.0;
+  for (const auto& m : r.report.tenants) {
+    if (m.name.rfind("victim", 0) == 0 && m.interference > worst) {
+      worst = m.interference;
+    }
+  }
+  return worst;
+}
+
+void print_scenario(const tenant::ScenarioResult& r) {
+  std::printf("\n--- %s [%s] ---\n(%s)\n%s", tenant::scenario_name(r.scenario),
+              sched::policy_name(r.policy), tenant::scenario_blurb(r.scenario),
+              r.report.to_table().c_str());
+  std::printf(
+      "cluster: %llu stalled writes, %.1f ms stalled, %llu segments cleaned; "
+      "vm uplink %.0f%% busy\n",
+      static_cast<unsigned long long>(r.cluster.stalled_writes),
+      static_cast<double>(r.cluster.append_stall_ns) / 1e6,
+      static_cast<unsigned long long>(r.cleaner.segments_cleaned),
+      r.makespan > 0 ? 100.0 * static_cast<double>(r.fabric.vm_tx_busy_ns) /
+                           static_cast<double>(r.makespan)
+                     : 0.0);
 }
 
 }  // namespace
@@ -59,49 +124,140 @@ int main(int argc, char** argv) {
   using namespace uc;
   const auto scale = bench::parse_scale(argc, argv, /*supports_json=*/true);
 
+  // --sched restricts the study to one alternative policy (or to FIFO
+  // alone); --weights sets per-tenant WFQ weights by tenant index.
+  bool want_wfq = true;
+  bool want_prio = true;
+  std::vector<double> weights;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sched") == 0 && i + 1 < argc) {
+      sched::Policy p;
+      if (!sched::parse_policy(argv[i + 1], &p)) {
+        std::fprintf(stderr, "error: unknown policy '%s' (fifo|wfq|prio)\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      want_wfq = p == sched::Policy::kWfq;
+      want_prio = p == sched::Policy::kPrio;
+      ++i;
+    } else if (std::strcmp(argv[i], "--weights") == 0 && i + 1 < argc) {
+      const char* s = argv[i + 1];
+      for (;;) {
+        char* end = nullptr;
+        const double w = std::strtod(s, &end);
+        if (end == s || w <= 0.0 || (*end != ',' && *end != '\0')) {
+          std::fprintf(stderr,
+                       "error: --weights wants positive numbers like 2,1,1 "
+                       "(got '%s')\n",
+                       argv[i + 1]);
+          return 2;
+        }
+        weights.push_back(w);
+        if (*end == '\0') break;
+        s = end + 1;
+      }
+      ++i;
+    }
+  }
+
   bench::print_header(
-      "Multi-tenant colocation — shared cluster, per-tenant QoS",
+      "Multi-tenant colocation — shared cluster, per-tenant QoS, pluggable "
+      "scheduling",
       "beyond the paper: its single-volume observations re-measured under "
-      "colocation (noisy neighbours, fairness, cluster-wide GC, bursts)");
+      "colocation, and the isolation each scheduling policy buys back");
 
   tenant::ScenarioOptions opt;
   opt.quick = scale.quick;
+  opt.weights = weights;
+
+  // The policy study covers the three contention scenarios; burst-collision
+  // is a QoS-credit phenomenon the data-path scheduler cannot see, so it
+  // runs under FIFO only.
+  const std::vector<tenant::Scenario> study = {
+      tenant::Scenario::kNoisyNeighbor, tenant::Scenario::kFairShare,
+      tenant::Scenario::kCleanerPressure};
 
   bench::Json scenarios = bench::Json::array();
+  std::vector<tenant::ScenarioResult> fifo_results;
   for (const tenant::Scenario s : tenant::all_scenarios()) {
-    const auto result = tenant::run_scenario(s, opt);
-    std::printf("\n--- %s ---\n(%s)\n%s", tenant::scenario_name(s),
-                tenant::scenario_blurb(s), result.report.to_table().c_str());
-    std::printf(
-        "cluster: %llu stalled writes, %.1f ms stalled, %llu segments "
-        "cleaned\n",
-        static_cast<unsigned long long>(result.cluster.stalled_writes),
-        static_cast<double>(result.cluster.append_stall_ns) / 1e6,
-        static_cast<unsigned long long>(result.cleaner.segments_cleaned));
-
+    auto result = tenant::run_scenario(s, opt);
+    print_scenario(result);
     if (s == tenant::Scenario::kNoisyNeighbor) {
-      double worst = 0.0;
-      for (const auto& m : result.report.tenants) {
-        if (m.name.rfind("victim", 0) == 0 && m.interference > worst) {
-          worst = m.interference;
-        }
-      }
-      std::printf("noisy-neighbour victim p99 inflation: %.2fx (target >= 2x)\n",
-                  worst);
+      std::printf(
+          "noisy-neighbour victim p99 inflation: %.2fx (target >= 2x)\n",
+          worst_victim_interference(result));
     }
     if (s == tenant::Scenario::kFairShare) {
       std::printf("fair-share Jain index: %.4f (target >= 0.95)\n",
                   result.report.jain_index);
     }
     scenarios.push(scenario_json(result));
+    fifo_results.push_back(std::move(result));
+  }
+
+  std::vector<sched::Policy> alts;
+  if (want_wfq) alts.push_back(sched::Policy::kWfq);
+  if (want_prio) alts.push_back(sched::Policy::kPrio);
+
+  bench::Json policies = bench::Json::array();
+  bench::Json buyback = bench::Json::array();
+  for (const sched::Policy p : alts) {
+    tenant::ScenarioOptions alt_opt = opt;
+    alt_opt.sched.policy = p;
+    bench::Json alt_scenarios = bench::Json::array();
+    bench::Json bb = bench::Json::object();
+    bb.set("policy", sched::policy_name(p));
+    for (const tenant::Scenario s : study) {
+      const auto result = tenant::run_scenario(s, alt_opt);
+      print_scenario(result);
+      const auto base_it =
+          std::find_if(fifo_results.begin(), fifo_results.end(),
+                       [s](const tenant::ScenarioResult& r) {
+                         return r.scenario == s;
+                       });
+      UC_ASSERT(base_it != fifo_results.end(), "no FIFO baseline for scenario");
+      const auto& base = *base_it;
+      const auto cmp = tenant::compare_fairness(base.report, result.report);
+      std::printf("vs fifo:\n%s", cmp.to_table().c_str());
+      if (s == tenant::Scenario::kNoisyNeighbor) {
+        const double improvement =
+            worst_victim_interference(base) > 0.0
+                ? 1.0 - worst_victim_interference(result) /
+                            worst_victim_interference(base)
+                : 0.0;
+        std::printf(
+            "victim interference buy-back under %s: %.1f%% (target >= 25%%)\n",
+            sched::policy_name(p), improvement * 100.0);
+        bb.set("victim_interference_improvement", improvement);
+      }
+      if (s == tenant::Scenario::kFairShare) {
+        std::printf("fair-share Jain under %s: %.4f (target >= 0.95)\n",
+                    sched::policy_name(p), result.report.jain_index);
+        bb.set("fair_share_jain", result.report.jain_index);
+      }
+      if (s == tenant::Scenario::kCleanerPressure) {
+        bb.set("cleaner_pressure_jain", result.report.jain_index);
+      }
+      alt_scenarios.push(scenario_json(result));
+    }
+    bench::Json pol = bench::Json::object();
+    pol.set("policy", sched::policy_name(p));
+    pol.set("scenarios", std::move(alt_scenarios));
+    policies.push(std::move(pol));
+    buyback.push(std::move(bb));
   }
 
   bench::Json config = bench::Json::object();
   config.set("quick", opt.quick);
   config.set("seed", opt.seed);
   config.set("solo_baselines", opt.solo_baselines);
+  bench::Json wjson = bench::Json::array();
+  for (const double w : weights) wjson.push(w);
+  config.set("weights", std::move(wjson));
   bench::Json metrics = bench::Json::object();
   metrics.set("scenarios", std::move(scenarios));
+  metrics.set("policies", std::move(policies));
+  metrics.set("buyback", std::move(buyback));
   bench::maybe_write_json(
       scale, bench::bench_report("multi_tenant", std::move(config),
                                  std::move(metrics)));

@@ -3,11 +3,19 @@
 // and zipf draws, and end-to-end simulated-IOPS per wall-second for both
 // device families.  These bound how large an experiment the harness can
 // run, and guard against performance regressions in the hot paths.
+//
+// Unlike the other benches this one is written against Google Benchmark,
+// so the custom main() below bridges `--json <path>` to the shared
+// {bench, config, metrics} schema by collecting every run from a reporter.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/token_bucket.h"
@@ -110,5 +118,75 @@ void BM_EssdSimulatedIops(benchmark::State& state) {
 }
 BENCHMARK(BM_EssdSimulatedIops)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that also keeps every iteration run so main() can emit
+/// the shared bench JSON schema.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type == Run::RT_Iteration) collected.push_back(r);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Run> collected;
+};
+
 }  // namespace
 }  // namespace uc
+
+int main(int argc, char** argv) {
+  using namespace uc;
+  // Strip the shared-harness flags before Google Benchmark sees argv.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+      ++i;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--quick") == 0 ||
+        std::strcmp(argv[i], "--full") == 0) {
+      continue;  // accepted for harness uniformity; micro benches self-time
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    bench::Json benchmarks = bench::Json::array();
+    for (const auto& r : reporter.collected) {
+      bench::Json b = bench::Json::object();
+      b.set("name", r.run_name.str());
+      b.set("iterations", static_cast<std::uint64_t>(r.iterations));
+      const double iters =
+          r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+      b.set("real_ns_per_iter", r.real_accumulated_time * 1e9 / iters);
+      b.set("cpu_ns_per_iter", r.cpu_accumulated_time * 1e9 / iters);
+      const auto items = r.counters.find("items_per_second");
+      if (items != r.counters.end()) {
+        b.set("items_per_second", static_cast<double>(items->second.value));
+      }
+      benchmarks.push(std::move(b));
+    }
+    bench::Json config = bench::Json::object();
+    config.set("benchmark_filter", "all");
+    bench::Json metrics = bench::Json::object();
+    metrics.set("benchmarks", std::move(benchmarks));
+    bench::Scale scale;
+    scale.json_path = json_path;
+    bench::maybe_write_json(
+        scale,
+        bench::bench_report("sim_micro", std::move(config), std::move(metrics)));
+  }
+  return 0;
+}

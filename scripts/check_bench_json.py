@@ -32,6 +32,25 @@ def check_tenant(path, tenant):
             fail(path, f"tenant missing '{key}'")
 
 
+def check_scenario(path, s):
+    for key in ("name", "policy", "jain_index", "aggregate_gbs", "makespan_s",
+                "cluster", "fabric", "tenants"):
+        if key not in s:
+            fail(path, f"scenario '{s.get('name')}' missing '{key}'")
+    for key in ("stalled_writes", "append_stall_ms", "segments_cleaned",
+                "tenant_segments_cleaned"):
+        if key not in s["cluster"]:
+            fail(path, f"scenario '{s['name']}' cluster missing '{key}'")
+    for key in ("vm_tx_bytes", "vm_rx_bytes", "vm_tx_util",
+                "node_tx_bytes", "node_rx_bytes"):
+        if key not in s["fabric"]:
+            fail(path, f"scenario '{s['name']}' fabric missing '{key}'")
+    if not s["tenants"]:
+        fail(path, f"scenario '{s['name']}' has no tenants")
+    for tenant in s["tenants"]:
+        check_tenant(path, tenant)
+
+
 def check_multi_tenant(path, metrics):
     scenarios = metrics.get("scenarios")
     if not isinstance(scenarios, list) or not scenarios:
@@ -42,17 +61,27 @@ def check_multi_tenant(path, metrics):
     if not expected <= names:
         fail(path, f"missing scenarios: {sorted(expected - names)}")
     for s in scenarios:
-        for key in ("name", "jain_index", "aggregate_gbs", "makespan_s",
-                    "cluster", "tenants"):
-            if key not in s:
-                fail(path, f"scenario '{s.get('name')}' missing '{key}'")
-        for key in ("stalled_writes", "append_stall_ms", "segments_cleaned"):
-            if key not in s["cluster"]:
-                fail(path, f"scenario '{s['name']}' cluster missing '{key}'")
-        if not s["tenants"]:
-            fail(path, f"scenario '{s['name']}' has no tenants")
-        for tenant in s["tenants"]:
-            check_tenant(path, tenant)
+        check_scenario(path, s)
+    # The scheduling-policy study: per-policy scenario reruns plus the
+    # buy-back summary against the FIFO baseline.
+    policies = metrics.get("policies")
+    if not isinstance(policies, list):
+        fail(path, "metrics.policies must be an array")
+    for p in policies:
+        if "policy" not in p or p["policy"] not in ("wfq", "prio"):
+            fail(path, f"policy entry has bad 'policy': {p.get('policy')}")
+        if not isinstance(p.get("scenarios"), list) or not p["scenarios"]:
+            fail(path, f"policy '{p['policy']}' needs a scenarios array")
+        for s in p["scenarios"]:
+            check_scenario(path, s)
+    buyback = metrics.get("buyback")
+    if not isinstance(buyback, list):
+        fail(path, "metrics.buyback must be an array")
+    for b in buyback:
+        for key in ("policy", "victim_interference_improvement",
+                    "fair_share_jain"):
+            if key not in b:
+                fail(path, f"buyback entry missing '{key}'")
 
 
 def check_fig2(path, metrics):
@@ -84,10 +113,57 @@ def check_table1(path, metrics):
                 fail(path, f"device row missing '{key}'")
 
 
+def check_fig3(path, metrics):
+    devices = metrics.get("devices")
+    if not isinstance(devices, list) or len(devices) != 3:
+        fail(path, "metrics.devices must list ESSD-1, ESSD-2, and the SSD")
+    for dev in devices:
+        for key in ("device", "capacity_bytes", "total_written_bytes",
+                    "wall_time_s", "timeline"):
+            if key not in dev:
+                fail(path, f"gc device row missing '{key}'")
+        if not isinstance(dev["timeline"], list) or not dev["timeline"]:
+            fail(path, "each gc device needs a non-empty timeline")
+        for point in dev["timeline"]:
+            for key in ("time_s", "gb_per_s"):
+                if key not in point:
+                    fail(path, f"timeline point missing '{key}'")
+
+
+def check_fig5(path, metrics):
+    devices = metrics.get("devices")
+    if not isinstance(devices, list) or len(devices) != 3:
+        fail(path, "metrics.devices must list ESSD-1, ESSD-2, and the SSD")
+    for dev in devices:
+        for key in ("device", "guaranteed_gbs", "mean_gbs", "cv", "sweep"):
+            if key not in dev:
+                fail(path, f"budget device row missing '{key}'")
+        if not isinstance(dev["sweep"], list) or not dev["sweep"]:
+            fail(path, "each budget device needs a non-empty sweep")
+        for cell in dev["sweep"]:
+            for key in ("write_pct", "total_gbs", "write_gbs"):
+                if key not in cell:
+                    fail(path, f"sweep cell missing '{key}'")
+
+
+def check_sim_micro(path, metrics):
+    benchmarks = metrics.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail(path, "metrics.benchmarks must be a non-empty array")
+    for b in benchmarks:
+        for key in ("name", "iterations", "real_ns_per_iter",
+                    "cpu_ns_per_iter"):
+            if key not in b:
+                fail(path, f"benchmark row missing '{key}'")
+
+
 CHECKS = {
     "multi_tenant": check_multi_tenant,
     "fig2_latency": check_fig2,
     "table1": check_table1,
+    "fig3_gc": check_fig3,
+    "fig5_budget": check_fig5,
+    "sim_micro": check_sim_micro,
 }
 
 

@@ -7,13 +7,17 @@ namespace uc::ebs {
 
 Cleaner::Cleaner(sim::Simulator& sim, const CleanerConfig& cfg,
                  std::uint64_t segment_bytes,
-                 const std::vector<ChunkLog*>& logs, SegmentPool& pool)
+                 const std::vector<ChunkLog*>& logs,
+                 const std::vector<std::uint32_t>& owners, SegmentPool& pool,
+                 const sched::SchedulerConfig& sched_cfg)
     : sim_(sim),
       cfg_(cfg),
       segment_bytes_(segment_bytes),
       logs_(logs),
+      owners_(owners),
       pool_(pool) {
   UC_ASSERT(cfg_.processing_mbps > 0.0, "cleaner needs positive bandwidth");
+  pipe_.configure(sim, sched_cfg);
 }
 
 void Cleaner::notify() {
@@ -51,19 +55,35 @@ void Cleaner::run_cycle() {
   }
   // Processing a victim costs its full segment size through the background
   // cleaning bandwidth; replicas are cleaned in parallel on their nodes.
+  // The bandwidth is a sched-tagged pipe: the cleaner itself stays strictly
+  // serial (one victim in flight), so FIFO timing is unchanged, but the
+  // occupancy is attributed to the victim's owning tenant.
   const double seconds =
       static_cast<double>(segment_bytes_) / (cfg_.processing_mbps * 1e6);
-  sim_.schedule_after(static_cast<SimTime>(seconds * 1e9),
-                      [this, target] {
-                        std::uint32_t moved = 0;
-                        const bool ok = logs_[target.chunk]->clean_segment(
-                            target.victim.seq, pool_, &moved);
-                        UC_ASSERT(ok, "cleaner reserve exhausted");
-                        ++stats_.segments_cleaned;
-                        stats_.pages_relocated += moved;
-                        stats_.bytes_processed += segment_bytes_;
-                        run_cycle();
-                      });
+  UC_ASSERT(target.chunk < owners_.size(),
+            "chunk-log registry and owner registry diverged");
+  const std::uint32_t owner = owners_[target.chunk];
+  const sched::SchedTag tag{owner, sched::IoClass::kCleanerGc, segment_bytes_};
+  pipe_.submit(
+      sim_.now(), tag, static_cast<SimTime>(seconds * 1e9),
+      [this, target, owner](SimTime finish) {
+        sim_.schedule_at(finish, [this, target, owner] {
+          std::uint32_t moved = 0;
+          const bool ok = logs_[target.chunk]->clean_segment(
+              target.victim.seq, pool_, &moved);
+          UC_ASSERT(ok, "cleaner reserve exhausted");
+          ++stats_.segments_cleaned;
+          stats_.pages_relocated += moved;
+          stats_.bytes_processed += segment_bytes_;
+          if (owner >= stats_.tenant_segments.size()) {
+            stats_.tenant_segments.resize(owner + 1, 0);
+            stats_.tenant_pages.resize(owner + 1, 0);
+          }
+          ++stats_.tenant_segments[owner];
+          stats_.tenant_pages[owner] += moved;
+          run_cycle();
+        });
+      });
 }
 
 }  // namespace uc::ebs

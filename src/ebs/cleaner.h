@@ -15,6 +15,8 @@
 
 #include "common/types.h"
 #include "ebs/segment_store.h"
+#include "sched/queued_resource.h"
+#include "sched/sched.h"
 #include "sim/simulator.h"
 
 namespace uc::ebs {
@@ -34,23 +36,41 @@ struct CleanerStats {
   std::uint64_t segments_cleaned = 0;
   std::uint64_t pages_relocated = 0;
   std::uint64_t bytes_processed = 0;
+  /// Per-tenant slices of the same counters, indexed by the VolumeId that
+  /// owned each cleaned victim — who is actually consuming the shared
+  /// background reclaim bandwidth.
+  std::vector<std::uint64_t> tenant_segments;
+  std::vector<std::uint64_t> tenant_pages;
+
+  std::uint64_t tenant_segments_cleaned(std::uint32_t vol) const {
+    return vol < tenant_segments.size() ? tenant_segments[vol] : 0;
+  }
+  std::uint64_t tenant_pages_relocated(std::uint32_t vol) const {
+    return vol < tenant_pages.size() ? tenant_pages[vol] : 0;
+  }
 };
 
 class Cleaner {
  public:
   /// `logs` is the cluster's registry of chunk logs across *all* attached
   /// volumes (global chunk id -> log); the cluster appends to it as volumes
-  /// attach, and the cleaner always scans the current registry.  One cleaner
-  /// therefore serves every tenant from the same background bandwidth.
+  /// attach, and the cleaner always scans the current registry.  `owners`
+  /// is the parallel registry of owning volumes (per-tenant GC accounting).
+  /// One cleaner therefore serves every tenant from the same background
+  /// bandwidth, which is routed through a sched-tagged `QueuedResource` so
+  /// reports can attribute it.
   Cleaner(sim::Simulator& sim, const CleanerConfig& cfg,
           std::uint64_t segment_bytes, const std::vector<ChunkLog*>& logs,
-          SegmentPool& pool);
+          const std::vector<std::uint32_t>& owners, SegmentPool& pool,
+          const sched::SchedulerConfig& sched_cfg = {});
 
   /// Pool or garbage state changed; (re)start the cleaning loop if needed.
   void notify();
 
   bool busy() const { return busy_; }
   const CleanerStats& stats() const { return stats_; }
+  /// The background-bandwidth pipe (per-tenant busy-time attribution).
+  const sched::QueuedResource& pipe() const { return pipe_; }
 
  private:
   struct GlobalVictim {
@@ -66,8 +86,10 @@ class Cleaner {
   CleanerConfig cfg_;
   std::uint64_t segment_bytes_;
   const std::vector<ChunkLog*>& logs_;
+  const std::vector<std::uint32_t>& owners_;
   SegmentPool& pool_;
   CleanerStats stats_;
+  sched::QueuedResource pipe_;
   bool busy_ = false;
 };
 

@@ -38,12 +38,18 @@ StorageCluster::StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg,
   attach_volume_internal(volume_bytes, /*grow_pool=*/false);
 }
 
+net::FabricConfig StorageCluster::fabric_config(const ClusterConfig& cfg) {
+  net::FabricConfig fc = cfg.fabric;
+  fc.sched = cfg.sched;
+  return fc;
+}
+
 StorageCluster::StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg,
                                std::uint64_t initial_pool_groups, int /*tag*/)
     : sim_(sim),
       cfg_(cfg),
       rng_(cfg.seed),
-      fabric_(cfg.fabric, Rng(cfg.seed ^ 0xfab71cull)),
+      fabric_(fabric_config(cfg), Rng(cfg.seed ^ 0xfab71cull), &sim),
       pool_(initial_pool_groups, cfg.cleaner_reserve_groups),
       replica_write_(cfg.replica_write),
       replica_read_(cfg.replica_read),
@@ -61,8 +67,12 @@ StorageCluster::StorageCluster(sim::Simulator& sim, const ClusterConfig& cfg,
     node_read_.emplace_back();
     node_caches_.emplace_back(cfg.node_cache_pages);
   }
+  for (int n = 0; n < cfg.fabric.nodes; ++n) {
+    node_append_[static_cast<std::size_t>(n)].configure(sim_, cfg.sched);
+    node_read_[static_cast<std::size_t>(n)].configure(sim_, cfg.sched);
+  }
   cleaner_ = std::make_unique<Cleaner>(sim_, cfg.cleaner, cfg.segment_bytes,
-                                       all_logs_, pool_);
+                                       all_logs_, log_owner_, pool_, cfg.sched);
   pool_.set_release_callback([this] { pump_appends(); });
 }
 
@@ -98,6 +108,7 @@ VolumeId StorageCluster::attach_volume_internal(std::uint64_t volume_bytes,
   // stable for the cluster's lifetime.
   for (std::uint32_t c = 0; c < chunks; ++c) {
     all_logs_.push_back(&vol->logs[c]);
+    log_owner_.push_back(id);
   }
   volumes_.push_back(std::move(vol));
   return id;
@@ -169,20 +180,60 @@ void StorageCluster::pump_appends() {
 
 void StorageCluster::issue_write_io(PendingWrite& op) {
   // Fan the payload out to every replica; the op completes on the slowest
-  // journal commit plus the ack hop back to the block server.
+  // journal commit plus the ack hop back to the block server.  Every stage
+  // is a sched-tagged reservation: FIFO takes the synchronous horizon path
+  // below (bit-identical to the pre-sched arithmetic); under WFQ/priority
+  // each pipe dispatches by policy at its own pace via continuations.
   const Volume& v = volume(op.vol);
-  SimTime slowest = 0;
-  for (const int node : v.map.replicas(op.chunk)) {
-    SimTime t = fabric_.to_node(sim_.now(), node, op.bytes);
-    const auto svc = static_cast<SimTime>(
-        cfg_.node_append_op_us * 1e3 +
-        append_ns_per_byte_ * static_cast<double>(op.bytes));
-    t = node_append_[static_cast<std::size_t>(node)].acquire(t, svc);
-    t += replica_write_.sample(rng_, op.bytes);
-    slowest = std::max(slowest, t);
+  const auto& replicas = v.map.replicas(op.chunk);
+  if (cfg_.sched.policy == sched::Policy::kFifo) {
+    // Allocation-free fast path: FIFO grants are synchronous, so the
+    // original horizon arithmetic applies verbatim (tagged, so per-class
+    // and per-tenant accounting still accrues).
+    const sched::SchedTag tag{op.vol, sched::IoClass::kFgWrite, op.bytes};
+    SimTime slowest = 0;
+    for (const int node : replicas) {
+      SimTime t = fabric_.to_node(sim_.now(), node, op.bytes, tag);
+      const auto svc = static_cast<SimTime>(
+          cfg_.node_append_op_us * 1e3 +
+          append_ns_per_byte_ * static_cast<double>(op.bytes));
+      t = node_append_[static_cast<std::size_t>(node)].acquire(t, svc, tag);
+      t += replica_write_.sample(rng_, op.bytes);
+      slowest = std::max(slowest, t);
+    }
+    slowest += fabric_.hop_latency();
+    sim_.schedule_at(slowest, std::move(op.done));
+    return;
   }
-  slowest += fabric_.hop_latency();
-  sim_.schedule_at(slowest, std::move(op.done));
+  struct Join {
+    int remaining = 0;
+    SimTime slowest = 0;
+    std::function<void()> done;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = static_cast<int>(replicas.size());
+  join->done = std::move(op.done);
+  const sched::SchedTag tag{op.vol, sched::IoClass::kFgWrite, op.bytes};
+  const std::uint32_t bytes = op.bytes;
+  for (const int node : replicas) {
+    fabric_.to_node(
+        sim_.now(), node, bytes, tag,
+        [this, join, tag, bytes, node](SimTime delivered) {
+          const auto svc = static_cast<SimTime>(
+              cfg_.node_append_op_us * 1e3 +
+              append_ns_per_byte_ * static_cast<double>(bytes));
+          node_append_[static_cast<std::size_t>(node)].submit(
+              delivered, tag, svc, [this, join, bytes](SimTime appended) {
+                const SimTime committed =
+                    appended + replica_write_.sample(rng_, bytes);
+                if (committed > join->slowest) join->slowest = committed;
+                if (--join->remaining == 0) {
+                  const SimTime acked = join->slowest + fabric_.hop_latency();
+                  sim_.schedule_at(acked, std::move(join->done));
+                }
+              });
+        });
+  }
 }
 
 // ---------------------------------------------------------------- reads --
@@ -205,89 +256,223 @@ void StorageCluster::read(VolumeId vol, ByteOffset offset, std::uint32_t bytes,
   // state live where the reads go, and load still spreads because chunk
   // primaries are distributed across the cluster.
   const int node = v.map.replicas(chunk)[0];
-  auto& cache = node_caches_[static_cast<std::size_t>(node)];
-  ChunkLog& log = v.logs[chunk];
+  const sched::SchedTag tag{vol, sched::IoClass::kFgRead, bytes};
 
-  // Request message reaches the node first.
-  const SimTime t_req = fabric_.to_node(sim_.now(), node, 256);
+  if (cfg_.sched.policy == sched::Policy::kFifo) {
+    // Allocation-free fast path: FIFO grants are synchronous, so the
+    // original straight-line arithmetic applies verbatim.  KEEP IN SYNC
+    // with the queued-policy continuation below — the two must model the
+    // same service chain (the digests only pin this copy).
+    auto& cache = node_caches_[static_cast<std::size_t>(node)];
+    ChunkLog& log = v.logs[chunk];
 
-  std::uint32_t miss_pages = 0;
-  SimTime ready = t_req;
-  for (std::uint32_t i = 0; i < pages; ++i) {
-    const std::uint32_t page = first_page + i;
-    if (!log.is_written(page)) {
-      ++stats_.unwritten_read_pages;  // served as zeros from metadata
-      ++v.stats.unwritten_read_pages;
-      continue;
-    }
-    if (auto r = cache.lookup(cache_key(v, chunk, page)); r.has_value()) {
-      ++stats_.cache_hit_pages;
-      ++v.stats.cache_hit_pages;
-      ready = std::max(ready, *r);
-      continue;
-    }
-    ++miss_pages;
-  }
+    const SimTime t_req = fabric_.to_node(sim_.now(), node, 256, tag);
 
-  if (miss_pages == 0 && pages > 0) {
-    // Cache-served reads still occupy the node's read pipeline briefly.
-    ready = std::max(ready,
-                     node_read_[static_cast<std::size_t>(node)].acquire(
-                         t_req, static_cast<SimTime>(cfg_.node_read_op_us * 1e3)));
-  }
-  if (miss_pages > 0) {
-    stats_.media_read_pages += miss_pages;
-    v.stats.media_read_pages += miss_pages;
-    const std::uint64_t miss_bytes =
-        static_cast<std::uint64_t>(miss_pages) * kLogicalPageBytes;
-    const auto svc = static_cast<SimTime>(
-        cfg_.node_read_op_us * 1e3 +
-        read_ns_per_byte_ * static_cast<double>(miss_bytes));
-    SimTime t = node_read_[static_cast<std::size_t>(node)].acquire(t_req, svc);
-    t += replica_read_.sample(rng_, miss_bytes);
-    ready = std::max(ready, t);
+    std::uint32_t miss_pages = 0;
+    SimTime ready = t_req;
     for (std::uint32_t i = 0; i < pages; ++i) {
       const std::uint32_t page = first_page + i;
-      if (log.is_written(page)) cache.insert(cache_key(v, chunk, page), t);
+      if (!log.is_written(page)) {
+        ++stats_.unwritten_read_pages;  // served as zeros from metadata
+        ++v.stats.unwritten_read_pages;
+        continue;
+      }
+      if (auto r = cache.lookup(cache_key(v, chunk, page)); r.has_value()) {
+        ++stats_.cache_hit_pages;
+        ++v.stats.cache_hit_pages;
+        ready = std::max(ready, *r);
+        continue;
+      }
+      ++miss_pages;
     }
-  }
 
-  // Node-side sequential read-ahead (provider-dependent; Alibaba-style
-  // profiles enable it, which is why their sequential reads outrun their
-  // random reads in Figure 2c).
-  if (cfg_.readahead && v.readahead_cursor[chunk] == first_page) {
-    const std::uint32_t ra_first = first_page + pages;
-    std::uint32_t ra_pages = 0;
-    for (std::uint32_t i = 0; i < cfg_.readahead_pages; ++i) {
-      const std::uint32_t page = ra_first + i;
-      if (page >= v.map.pages_per_chunk()) break;
-      if (!log.is_written(page)) break;
-      if (cache.contains(cache_key(v, chunk, page))) continue;
-      ++ra_pages;
+    if (miss_pages == 0 && pages > 0) {
+      // Cache-served reads still occupy the node's read pipeline briefly.
+      ready = std::max(
+          ready, node_read_[static_cast<std::size_t>(node)].acquire(
+                     t_req, static_cast<SimTime>(cfg_.node_read_op_us * 1e3),
+                     tag));
     }
-    if (ra_pages > 0) {
-      ++stats_.readahead_fetches;
-      ++v.stats.readahead_fetches;
-      const std::uint64_t ra_bytes =
-          static_cast<std::uint64_t>(ra_pages) * kLogicalPageBytes;
+    if (miss_pages > 0) {
+      stats_.media_read_pages += miss_pages;
+      v.stats.media_read_pages += miss_pages;
+      const std::uint64_t miss_bytes =
+          static_cast<std::uint64_t>(miss_pages) * kLogicalPageBytes;
       const auto svc = static_cast<SimTime>(
           cfg_.node_read_op_us * 1e3 +
-          read_ns_per_byte_ * static_cast<double>(ra_bytes));
-      const SimTime t_ra =
-          node_read_[static_cast<std::size_t>(node)].acquire(ready, svc) +
-          replica_read_.sample(rng_, ra_bytes);
+          read_ns_per_byte_ * static_cast<double>(miss_bytes));
+      SimTime t =
+          node_read_[static_cast<std::size_t>(node)].acquire(t_req, svc, tag);
+      t += replica_read_.sample(rng_, miss_bytes);
+      ready = std::max(ready, t);
+      for (std::uint32_t i = 0; i < pages; ++i) {
+        const std::uint32_t page = first_page + i;
+        if (log.is_written(page)) cache.insert(cache_key(v, chunk, page), t);
+      }
+    }
+
+    // Node-side sequential read-ahead (provider-dependent; Alibaba-style
+    // profiles enable it, which is why their sequential reads outrun their
+    // random reads in Figure 2c).
+    if (cfg_.readahead && v.readahead_cursor[chunk] == first_page) {
+      const std::uint32_t ra_first = first_page + pages;
+      std::uint32_t ra_pages = 0;
       for (std::uint32_t i = 0; i < cfg_.readahead_pages; ++i) {
         const std::uint32_t page = ra_first + i;
         if (page >= v.map.pages_per_chunk()) break;
         if (!log.is_written(page)) break;
-        cache.insert(cache_key(v, chunk, page), t_ra);
+        if (cache.contains(cache_key(v, chunk, page))) continue;
+        ++ra_pages;
+      }
+      if (ra_pages > 0) {
+        ++stats_.readahead_fetches;
+        ++v.stats.readahead_fetches;
+        const std::uint64_t ra_bytes =
+            static_cast<std::uint64_t>(ra_pages) * kLogicalPageBytes;
+        const auto svc = static_cast<SimTime>(
+            cfg_.node_read_op_us * 1e3 +
+            read_ns_per_byte_ * static_cast<double>(ra_bytes));
+        const sched::SchedTag ra_tag{vol, sched::IoClass::kPrefetch, ra_bytes};
+        const SimTime t_ra =
+            node_read_[static_cast<std::size_t>(node)].acquire(ready, svc,
+                                                               ra_tag) +
+            replica_read_.sample(rng_, ra_bytes);
+        for (std::uint32_t i = 0; i < cfg_.readahead_pages; ++i) {
+          const std::uint32_t page = ra_first + i;
+          if (page >= v.map.pages_per_chunk()) break;
+          if (!log.is_written(page)) break;
+          cache.insert(cache_key(v, chunk, page), t_ra);
+        }
       }
     }
+    v.readahead_cursor[chunk] = first_page + pages;
+
+    const SimTime t_back = fabric_.to_vm(ready, node, bytes, tag);
+    sim_.schedule_at(t_back, std::move(done));
+    return;
   }
+
+  // Sequentiality detection is submit-order state: decide (and advance the
+  // cursor) now, even if the request itself gets scheduled behind others.
+  const bool ra_eligible =
+      cfg_.readahead && v.readahead_cursor[chunk] == first_page;
   v.readahead_cursor[chunk] = first_page + pages;
 
-  const SimTime t_back = fabric_.to_vm(ready, node, bytes);
-  sim_.schedule_at(t_back, std::move(done));
+  // Queued-policy path: the request message reaches the node first and the
+  // service chain runs as a continuation once it is delivered.  KEEP IN
+  // SYNC with the FIFO fast path above.
+  fabric_.to_node(
+      sim_.now(), node, 256, tag,
+      [this, &v, vol, chunk, first_page, pages, bytes, node, ra_eligible, tag,
+       done = std::move(done)](SimTime t_req) mutable {
+        auto& cache = node_caches_[static_cast<std::size_t>(node)];
+        ChunkLog& log = v.logs[chunk];
+
+        std::uint32_t miss_pages = 0;
+        SimTime ready = t_req;
+        for (std::uint32_t i = 0; i < pages; ++i) {
+          const std::uint32_t page = first_page + i;
+          if (!log.is_written(page)) {
+            ++stats_.unwritten_read_pages;  // served as zeros from metadata
+            ++v.stats.unwritten_read_pages;
+            continue;
+          }
+          if (auto r = cache.lookup(cache_key(v, chunk, page)); r.has_value()) {
+            ++stats_.cache_hit_pages;
+            ++v.stats.cache_hit_pages;
+            ready = std::max(ready, *r);
+            continue;
+          }
+          ++miss_pages;
+        }
+
+        // Runs once the media read (if any) has been placed: issues the
+        // read-ahead and sends the payload back to the VM.
+        auto respond = [this, &v, vol, chunk, first_page, pages, bytes, node,
+                        ra_eligible, tag,
+                        done = std::move(done)](SimTime ready_at) mutable {
+          auto& node_cache = node_caches_[static_cast<std::size_t>(node)];
+          ChunkLog& chunk_log = v.logs[chunk];
+          // Node-side sequential read-ahead (provider-dependent;
+          // Alibaba-style profiles enable it, which is why their sequential
+          // reads outrun their random reads in Figure 2c).  Prefetch is its
+          // own traffic class, so a priority policy demotes it.
+          if (ra_eligible) {
+            const std::uint32_t ra_first = first_page + pages;
+            std::uint32_t ra_pages = 0;
+            for (std::uint32_t i = 0; i < cfg_.readahead_pages; ++i) {
+              const std::uint32_t page = ra_first + i;
+              if (page >= v.map.pages_per_chunk()) break;
+              if (!chunk_log.is_written(page)) break;
+              if (node_cache.contains(cache_key(v, chunk, page))) continue;
+              ++ra_pages;
+            }
+            if (ra_pages > 0) {
+              ++stats_.readahead_fetches;
+              ++v.stats.readahead_fetches;
+              const std::uint64_t ra_bytes =
+                  static_cast<std::uint64_t>(ra_pages) * kLogicalPageBytes;
+              const auto svc = static_cast<SimTime>(
+                  cfg_.node_read_op_us * 1e3 +
+                  read_ns_per_byte_ * static_cast<double>(ra_bytes));
+              const sched::SchedTag ra_tag{vol, sched::IoClass::kPrefetch,
+                                           ra_bytes};
+              node_read_[static_cast<std::size_t>(node)].submit(
+                  ready_at, ra_tag, svc,
+                  [this, &v, chunk, ra_first, ra_bytes, node](SimTime fetched) {
+                    const SimTime t_ra =
+                        fetched + replica_read_.sample(rng_, ra_bytes);
+                    auto& c = node_caches_[static_cast<std::size_t>(node)];
+                    ChunkLog& l = v.logs[chunk];
+                    for (std::uint32_t i = 0; i < cfg_.readahead_pages; ++i) {
+                      const std::uint32_t page = ra_first + i;
+                      if (page >= v.map.pages_per_chunk()) break;
+                      if (!l.is_written(page)) break;
+                      c.insert(cache_key(v, chunk, page), t_ra);
+                    }
+                  });
+            }
+          }
+          fabric_.to_vm(ready_at, node, bytes, tag,
+                        [this, done = std::move(done)](SimTime t_back) mutable {
+                          sim_.schedule_at(t_back, std::move(done));
+                        });
+        };
+
+        if (miss_pages == 0 && pages > 0) {
+          // Cache-served reads still occupy the node's read pipeline briefly.
+          node_read_[static_cast<std::size_t>(node)].submit(
+              t_req, tag, static_cast<SimTime>(cfg_.node_read_op_us * 1e3),
+              [ready, respond = std::move(respond)](SimTime piped) mutable {
+                respond(std::max(ready, piped));
+              });
+          return;
+        }
+        if (miss_pages > 0) {
+          stats_.media_read_pages += miss_pages;
+          v.stats.media_read_pages += miss_pages;
+          const std::uint64_t miss_bytes =
+              static_cast<std::uint64_t>(miss_pages) * kLogicalPageBytes;
+          const auto svc = static_cast<SimTime>(
+              cfg_.node_read_op_us * 1e3 +
+              read_ns_per_byte_ * static_cast<double>(miss_bytes));
+          node_read_[static_cast<std::size_t>(node)].submit(
+              t_req, tag, svc,
+              [this, &v, chunk, first_page, pages, miss_bytes, node, ready,
+               respond = std::move(respond)](SimTime piped) mutable {
+                const SimTime t = piped + replica_read_.sample(rng_, miss_bytes);
+                auto& c = node_caches_[static_cast<std::size_t>(node)];
+                ChunkLog& l = v.logs[chunk];
+                for (std::uint32_t i = 0; i < pages; ++i) {
+                  const std::uint32_t page = first_page + i;
+                  if (l.is_written(page)) c.insert(cache_key(v, chunk, page), t);
+                }
+                respond(std::max(ready, t));
+              });
+          return;
+        }
+        respond(ready);
+      });
 }
 
 // ----------------------------------------------------------------- misc --

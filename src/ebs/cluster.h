@@ -32,6 +32,7 @@
 #include "ebs/cleaner.h"
 #include "ebs/segment_store.h"
 #include "net/fabric.h"
+#include "sched/sched.h"
 #include "sim/latency_model.h"
 #include "sim/resources.h"
 #include "sim/simulator.h"
@@ -79,6 +80,12 @@ struct ClusterConfig {
 
   CleanerConfig cleaner;
   std::uint64_t cleaner_reserve_groups = 4;
+
+  /// Queue discipline at every shared resource the cluster owns (NIC pipes,
+  /// node append/read pipelines, cleaner bandwidth).  FIFO reproduces the
+  /// pre-sched simulator bit for bit; WFQ/priority reorder across tenants
+  /// and traffic classes.  `sched.weights` is indexed by VolumeId.
+  sched::SchedulerConfig sched;
 
   std::uint64_t seed = 99;
 };
@@ -228,6 +235,10 @@ class StorageCluster {
     return (static_cast<std::uint64_t>(v.chunk_base + chunk) << 32) | page;
   }
 
+  /// `cfg.fabric` with the cluster-wide scheduling policy folded in, so the
+  /// NIC pipes arbitrate with the same discipline as the node pipelines.
+  static net::FabricConfig fabric_config(const ClusterConfig& cfg);
+
   sim::Simulator& sim_;
   ClusterConfig cfg_;
   ClusterStats stats_;
@@ -236,6 +247,7 @@ class StorageCluster {
   SegmentPool pool_;
   std::vector<std::unique_ptr<Volume>> volumes_;
   std::vector<ChunkLog*> all_logs_;  ///< global chunk id -> log (cleaner view)
+  std::vector<std::uint32_t> log_owner_;  ///< global chunk id -> VolumeId
   std::unique_ptr<Cleaner> cleaner_;
   sim::LatencyModel replica_write_;
   sim::LatencyModel replica_read_;

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "ebs/cluster.h"
 #include "essd/qos.h"
+#include "sched/sched.h"
 #include "sim/latency_model.h"
 
 namespace uc::essd {
@@ -39,6 +40,11 @@ struct EssdConfig {
   double frontend_op_us = 15.0;
 
   ebs::ClusterConfig cluster;
+
+  /// Device-local queue discipline (QoS-gate admission order and the
+  /// block-server frontend pipe).  The cluster-side policy lives in
+  /// `cluster.sched`; `uc::tenant` sets both from one knob.
+  sched::SchedulerConfig sched;
 
   /// Published ceilings for DeviceInfo / Table I.
   double guaranteed_bw_gbs = 0.0;

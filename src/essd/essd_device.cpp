@@ -28,7 +28,8 @@ EssdDevice::EssdDevice(sim::Simulator& sim, const EssdConfig& cfg,
   info_.logical_block_bytes = kLogicalPageBytes;
   info_.guaranteed_bw_gbs = cfg_.guaranteed_bw_gbs;
   info_.guaranteed_iops = cfg_.guaranteed_iops;
-  qos_ = std::make_unique<QosGate>(sim_, cfg_.qos);
+  qos_ = std::make_unique<QosGate>(sim_, cfg_.qos, cfg_.sched);
+  frontend_pipe_.configure(sim_, cfg_.sched);
   if (shared == nullptr) {
     owned_cluster_ = std::make_unique<ebs::StorageCluster>(sim_, cfg_.cluster,
                                                            cfg_.capacity_bytes);
@@ -93,43 +94,54 @@ void EssdDevice::submit(const IoRequest& req, CompletionFn done) {
       }
       // The QoS gate admits the whole operation, then the frontend
       // (virtualization + block server) processes it, then the cluster.
-      qos_->admit(req.bytes, [this, req, is_write, submit_time,
-                              done = std::move(done)]() mutable {
+      const sched::SchedTag tag{
+          volume_, is_write ? sched::IoClass::kFgWrite : sched::IoClass::kFgRead,
+          req.bytes};
+      qos_->admit(req.bytes, tag, [this, req, tag, is_write, submit_time,
+                                   done = std::move(done)]() mutable {
         // The block-server pipeline serializes per-op processing, then the
         // sampled software latency elapses before the cluster sees the op.
-        const SimTime piped = frontend_pipe_.acquire(
-            sim_.now(), static_cast<SimTime>(cfg_.frontend_op_us * 1e3));
-        const SimTime fw = is_write ? frontend_write_.sample(rng_, req.bytes)
-                                    : frontend_read_.sample(rng_, req.bytes);
-        sim_.schedule_at(piped + fw, [this, req, is_write, submit_time,
-                                 done = std::move(done)]() mutable {
-          struct Join {
-            int remaining = 0;
-            IoRequest req;
-            SimTime submit_time;
-            CompletionFn done;
-          };
-          auto join = std::make_shared<Join>();
-          join->req = req;
-          join->submit_time = submit_time;
-          join->done = std::move(done);
-          join->remaining = for_each_fragment(
-              req.offset, req.bytes,
-              [&](ByteOffset at, std::uint32_t len) {
-                auto on_frag = [this, join] {
-                  if (--join->remaining == 0) {
-                    complete(join->req, join->submit_time, join->done);
+        auto after_pipe = [this, req, is_write, submit_time,
+                           done = std::move(done)](SimTime piped) mutable {
+          const SimTime fw = is_write ? frontend_write_.sample(rng_, req.bytes)
+                                      : frontend_read_.sample(rng_, req.bytes);
+          sim_.schedule_at(piped + fw, [this, req, is_write, submit_time,
+                                        done = std::move(done)]() mutable {
+            struct Join {
+              int remaining = 0;
+              IoRequest req;
+              SimTime submit_time;
+              CompletionFn done;
+            };
+            auto join = std::make_shared<Join>();
+            join->req = req;
+            join->submit_time = submit_time;
+            join->done = std::move(done);
+            join->remaining = for_each_fragment(
+                req.offset, req.bytes, [&](ByteOffset at, std::uint32_t len) {
+                  auto on_frag = [this, join] {
+                    if (--join->remaining == 0) {
+                      complete(join->req, join->submit_time, join->done);
+                    }
+                  };
+                  if (is_write) {
+                    const WriteStamp first = stamp_counter_ + 1;
+                    stamp_counter_ += len / kLogicalPageBytes;
+                    cluster_->write(volume_, at, len, first, on_frag);
+                  } else {
+                    cluster_->read(volume_, at, len, on_frag);
                   }
-                };
-                if (is_write) {
-                  const WriteStamp first = stamp_counter_ + 1;
-                  stamp_counter_ += len / kLogicalPageBytes;
-                  cluster_->write(volume_, at, len, first, on_frag);
-                } else {
-                  cluster_->read(volume_, at, len, on_frag);
-                }
-              });
-        });
+                });
+          });
+        };
+        const auto op_cost = static_cast<SimTime>(cfg_.frontend_op_us * 1e3);
+        if (frontend_pipe_.policy() == sched::Policy::kFifo) {
+          // Allocation-free fast path (synchronous grant).
+          after_pipe(frontend_pipe_.acquire(sim_.now(), op_cost, tag));
+        } else {
+          frontend_pipe_.submit(sim_.now(), tag, op_cost,
+                                std::move(after_pipe));
+        }
       });
       break;
     }

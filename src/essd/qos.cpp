@@ -7,11 +7,13 @@
 
 namespace uc::essd {
 
-QosGate::QosGate(sim::Simulator& sim, const QosConfig& cfg)
+QosGate::QosGate(sim::Simulator& sim, const QosConfig& cfg,
+                 const sched::SchedulerConfig& sched_cfg)
     : sim_(sim),
       cfg_(cfg),
       bytes_bucket_(cfg.bw_bytes_per_s, cfg.bw_bytes_per_s * cfg.bw_burst_s),
-      iops_bucket_(cfg.iops, cfg.iops * cfg.iops_burst_s) {}
+      iops_bucket_(cfg.iops, cfg.iops * cfg.iops_burst_s),
+      queue_(sched::make_scheduler(sched_cfg)) {}
 
 bool QosGate::try_pass(std::uint64_t bytes, double cost) {
   const SimTime now = sim_.now();
@@ -30,33 +32,45 @@ bool QosGate::try_pass(std::uint64_t bytes, double cost) {
 }
 
 void QosGate::admit(std::uint64_t bytes, std::function<void()> go) {
+  admit(bytes, sched::SchedTag{}, std::move(go));
+}
+
+void QosGate::admit(std::uint64_t bytes, sched::SchedTag tag,
+                    std::function<void()> go) {
+  tag.bytes = bytes;
   const double cost = io_cost(bytes);
-  if (queue_.empty() && try_pass(bytes, cost)) {
+  if (queue_->empty() && try_pass(bytes, cost)) {
     ++stats_.admitted;
+    stats_.wait.record(0);
     go();
     return;
   }
   ++stats_.throttled;
-  queue_.push_back(Pending{bytes, cost, sim_.now(), std::move(go)});
+  queue_->push(sched::Item{tag, sim_.now(), 0,
+                           [g = std::move(go)](SimTime) { g(); }});
+  if (queue_->size() > stats_.queue_depth_peak) {
+    stats_.queue_depth_peak = queue_->size();
+  }
   pump();
 }
 
 void QosGate::pump() {
-  while (!queue_.empty()) {
-    Pending& head = queue_.front();
-    if (!try_pass(head.bytes, head.io_cost)) break;
-    ++stats_.admitted;
-    stats_.throttle_ns += sim_.now() - head.enqueued;
-    auto go = std::move(head.go);
-    queue_.pop_front();
-    go();
-  }
-  if (queue_.empty() || timer_armed_) return;
   const SimTime now = sim_.now();
-  const Pending& head = queue_.front();
-  const double byte_need = std::min(static_cast<double>(head.bytes),
+  while (const sched::Item* head = queue_->peek(now)) {
+    if (!try_pass(head->tag.bytes, io_cost(head->tag.bytes))) break;
+    sched::Item item = queue_->pop(now);
+    ++stats_.admitted;
+    const SimTime waited = now - item.enqueued;
+    stats_.throttle_ns += waited;
+    stats_.wait.record(waited);
+    item.grant(now);
+  }
+  if (queue_->empty() || timer_armed_) return;
+  const sched::Item* head = queue_->peek(now);
+  const double head_cost = io_cost(head->tag.bytes);
+  const double byte_need = std::min(static_cast<double>(head->tag.bytes),
                                     bytes_bucket_.capacity());
-  const double iops_need = std::min(head.io_cost, iops_bucket_.capacity());
+  const double iops_need = std::min(head_cost, iops_bucket_.capacity());
   const SimTime wait =
       std::max(bytes_bucket_.delay_until_available(now, byte_need),
                iops_bucket_.delay_until_available(now, iops_need));

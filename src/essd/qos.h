@@ -5,18 +5,24 @@
 /// before entering the ESSD data path.
 ///
 /// Two token buckets — bytes-per-second (the throughput budget) and
-/// normalized IOPS — gate admission in FIFO order.  The byte bucket is what
-/// makes the maximum bandwidth "deterministic and no longer sensitive to
-/// the access pattern" (Observation 4): reads and writes draw from the same
-/// budget, so any mix converges to the same ceiling.  Burst allowances
-/// model the credit systems real providers layer on top.
+/// normalized IOPS — gate admission.  The byte bucket is what makes the
+/// maximum bandwidth "deterministic and no longer sensitive to the access
+/// pattern" (Observation 4): reads and writes draw from the same budget, so
+/// any mix converges to the same ceiling.  Burst allowances model the
+/// credit systems real providers layer on top.
+///
+/// The pending queue routes through the sched layer: FIFO admission by
+/// default (bit-identical to the original deque), or WFQ/priority over the
+/// waiting operations when a policy is configured.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 
+#include "common/histogram.h"
 #include "common/token_bucket.h"
 #include "common/types.h"
+#include "sched/scheduler.h"
 #include "sim/simulator.h"
 
 namespace uc::essd {
@@ -35,27 +41,34 @@ struct QosStats {
   std::uint64_t admitted = 0;
   std::uint64_t throttled = 0;   ///< ops that had to wait
   SimTime throttle_ns = 0;       ///< total admission delay
+  std::uint64_t queue_depth_peak = 0;  ///< deepest the pending queue got
+  /// Admission wait per operation (0 for immediate admits); p99 of this is
+  /// the tail cost of the budget, not of the data path.
+  LatencyHistogram wait;
+
+  SimTime p99_wait_ns() const { return wait.percentile(99.0); }
 };
 
 class QosGate {
  public:
-  QosGate(sim::Simulator& sim, const QosConfig& cfg);
+  QosGate(sim::Simulator& sim, const QosConfig& cfg,
+          const sched::SchedulerConfig& sched_cfg = {});
 
   /// Admits an operation of `bytes`; `go` fires (possibly immediately) once
-  /// both buckets grant.  Admission order is FIFO.
+  /// both buckets grant.  Admission order follows the configured policy
+  /// (FIFO by default).
   void admit(std::uint64_t bytes, std::function<void()> go);
+
+  /// Tagged admission: `tag.bytes` is overwritten with `bytes`.
+  void admit(std::uint64_t bytes, sched::SchedTag tag,
+             std::function<void()> go);
 
   const QosConfig& config() const { return cfg_; }
   const QosStats& stats() const { return stats_; }
+  /// Operations currently waiting for tokens.
+  std::size_t queue_depth() const { return queue_->size(); }
 
  private:
-  struct Pending {
-    std::uint64_t bytes;
-    double io_cost;
-    SimTime enqueued;
-    std::function<void()> go;
-  };
-
   double io_cost(std::uint64_t bytes) const {
     const auto unit = static_cast<std::uint64_t>(cfg_.iops_unit_bytes);
     const std::uint64_t cost = (bytes + unit - 1) / unit;
@@ -69,7 +82,7 @@ class QosGate {
   QosStats stats_;
   TokenBucket bytes_bucket_;
   TokenBucket iops_bucket_;
-  std::deque<Pending> queue_;
+  std::unique_ptr<sched::Scheduler> queue_;
   bool timer_armed_ = false;
 };
 

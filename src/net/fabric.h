@@ -7,12 +7,19 @@
 /// spike tail — the "network latency and software processing overhead
 /// within the cloud storage" the paper identifies as the primary cause of
 /// the ESSD latency floor (Observation 1).
+///
+/// Every NIC pipe routes through the sched layer: under the default FIFO
+/// policy transfers serialize in arrival order exactly as before; under
+/// WFQ/priority a tenant's small requests no longer queue behind another
+/// tenant's bulk backlog on the shared VM uplink.
 
 #include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "sched/sched.h"
+#include "sched/scheduler.h"
 #include "sim/latency_model.h"
 #include "sim/resources.h"
 #include "sim/simulator.h"
@@ -24,6 +31,19 @@ struct FabricConfig {
   double vm_nic_mbps = 3125.0;    ///< 25 GbE at the user VM / block server
   double node_nic_mbps = 3125.0;  ///< 25 GbE per storage node
   sim::LatencyModelConfig hop;    ///< one-way switch+propagation latency
+  sched::SchedulerConfig sched;   ///< queue discipline on every NIC pipe
+};
+
+/// Per-direction byte totals and pipe occupancy, VM-side and per node.
+struct FabricStats {
+  std::uint64_t vm_tx_bytes = 0;
+  std::uint64_t vm_rx_bytes = 0;
+  SimTime vm_tx_busy_ns = 0;
+  SimTime vm_rx_busy_ns = 0;
+  std::vector<std::uint64_t> node_tx_bytes;
+  std::vector<std::uint64_t> node_rx_bytes;
+  std::vector<SimTime> node_tx_busy_ns;
+  std::vector<SimTime> node_rx_busy_ns;
 };
 
 /// A message transfer reserves the sender egress pipe, pays the hop
@@ -31,13 +51,28 @@ struct FabricConfig {
 /// through the ToR switch).
 class Fabric {
  public:
-  Fabric(const FabricConfig& cfg, Rng rng);
+  /// `sim` may be null only when the policy is FIFO (the synchronous grant
+  /// path needs no dispatch events).
+  Fabric(const FabricConfig& cfg, Rng rng, sim::Simulator* sim = nullptr);
 
-  /// VM/block-server -> storage node `node`.
+  /// VM/block-server -> storage node `node` (untagged FIFO convenience).
   SimTime to_node(SimTime now, int node, std::uint64_t bytes);
 
-  /// Storage node `node` -> VM/block server.
+  /// Storage node `node` -> VM/block server (untagged FIFO convenience).
   SimTime to_vm(SimTime now, int node, std::uint64_t bytes);
+
+  /// Tagged synchronous variants — the allocation-free FIFO fast path
+  /// (identical arithmetic and accounting; invalid under WFQ/PRIO).
+  SimTime to_node(SimTime now, int node, std::uint64_t bytes,
+                  const sched::SchedTag& tag);
+  SimTime to_vm(SimTime now, int node, std::uint64_t bytes,
+                const sched::SchedTag& tag);
+
+  /// Tagged, policy-scheduled variants; `done` fires with the delivery time.
+  void to_node(SimTime arrival, int node, std::uint64_t bytes,
+               const sched::SchedTag& tag, sched::Grant done);
+  void to_vm(SimTime arrival, int node, std::uint64_t bytes,
+             const sched::SchedTag& tag, sched::Grant done);
 
   /// One-way hop latency sample only (for control messages).
   SimTime hop_latency(std::uint64_t bytes = 0);
@@ -46,6 +81,25 @@ class Fabric {
 
   std::uint64_t vm_tx_bytes() const { return vm_tx_bytes_; }
   std::uint64_t vm_rx_bytes() const { return vm_rx_bytes_; }
+  std::uint64_t node_tx_bytes(int node) const {
+    return node_tx_bytes_[static_cast<std::size_t>(node)];
+  }
+  std::uint64_t node_rx_bytes(int node) const {
+    return node_rx_bytes_[static_cast<std::size_t>(node)];
+  }
+  /// Pipe occupancy so far (divide by elapsed time for utilization).
+  SimTime vm_tx_busy_ns() const { return vm_tx_.busy_time(); }
+  SimTime vm_rx_busy_ns() const { return vm_rx_.busy_time(); }
+  SimTime node_tx_busy_ns(int node) const {
+    return node_tx_[static_cast<std::size_t>(node)].busy_time();
+  }
+  SimTime node_rx_busy_ns(int node) const {
+    return node_rx_[static_cast<std::size_t>(node)].busy_time();
+  }
+
+  /// Snapshot of all byte/occupancy counters (subtract two snapshots to
+  /// scope a measurement window).
+  FabricStats stats() const;
 
  private:
   sim::LatencyModel hop_model_;
@@ -56,6 +110,11 @@ class Fabric {
   std::vector<sim::BandwidthPipe> node_rx_;
   std::uint64_t vm_tx_bytes_ = 0;
   std::uint64_t vm_rx_bytes_ = 0;
+  std::vector<std::uint64_t> node_tx_bytes_;
+  std::vector<std::uint64_t> node_rx_bytes_;
 };
+
+/// Component-wise `a - b` for measurement windows.
+FabricStats subtract(const FabricStats& a, const FabricStats& b);
 
 }  // namespace uc::net

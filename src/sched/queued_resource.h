@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file queued_resource.h
+/// The contention substrate: one (or k) servers, a busy horizon, and a
+/// pluggable `Scheduler` deciding who goes next.
+///
+/// Two grant paths share the same horizon arithmetic:
+///
+/// - **Synchronous (FIFO)** — `acquire()` / a FIFO-policy `submit()` grants
+///   immediately: start = max(arrival, earliest-free), completion returned
+///   (or passed to the grant callback) on the spot.  This is byte-for-byte
+///   the horizon-reservation primitive the simulator always had, so a FIFO
+///   run is bit-identical to the pre-sched code.
+/// - **Queued (WFQ / PRIO)** — `submit()` enqueues the reservation; a
+///   dispatch loop serves the scheduler's pick whenever a server frees,
+///   firing the grant at dispatch time with the completion time.  This is
+///   work-conserving and can reorder across tenants and classes — which is
+///   the entire point.
+///
+/// The resource also keeps per-class and per-tenant busy-time slices so a
+/// report can say who actually occupied the pipe.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sched/scheduler.h"
+
+namespace uc::sim {
+class Simulator;
+}  // namespace uc::sim
+
+namespace uc::sched {
+
+class QueuedResource {
+ public:
+  /// Unconfigured: FIFO, synchronous-only, no simulator needed.
+  explicit QueuedResource(int servers = 1);
+
+  QueuedResource(const QueuedResource&) = delete;
+  QueuedResource& operator=(const QueuedResource&) = delete;
+  // Moves exist so resources can live in growing vectors during model
+  // construction; once traffic starts, pending dispatch timers capture
+  // `this`, so a live resource must never relocate (asserted).
+  QueuedResource(QueuedResource&& other) noexcept;
+  QueuedResource& operator=(QueuedResource&&) = delete;
+
+  /// Attaches a simulator and a policy.  Must be called before any traffic;
+  /// non-FIFO policies need the simulator for their dispatch events.
+  void configure(sim::Simulator& sim, const SchedulerConfig& cfg);
+
+  Policy policy() const { return cfg_.policy; }
+
+  /// Legacy synchronous horizon reservation (untagged).  Only valid under
+  /// FIFO — on a policy-scheduled resource it would jump the queue.
+  SimTime acquire(SimTime now, SimTime duration);
+
+  /// Tagged synchronous reservation: the allocation-free FIFO fast path
+  /// (hot paths branch on `policy()` and use this instead of `submit()`).
+  /// Identical accounting to the tagged queued path.
+  SimTime acquire(SimTime now, SimTime duration, const SchedTag& tag);
+
+  /// Tagged reservation becoming eligible at `arrival`; `grant(finish)`
+  /// fires when the reservation is placed (synchronously under FIFO).
+  void submit(SimTime arrival, const SchedTag& tag, SimTime duration,
+              Grant grant);
+
+  /// Horizon of the most recently placed reservation.
+  SimTime busy_until() const { return busy_until_; }
+  /// Total busy time across all servers (utilization accounting).
+  SimTime busy_time() const { return busy_time_; }
+  SimTime class_busy_time(IoClass c) const {
+    return class_busy_[static_cast<int>(c)];
+  }
+  /// Busy time attributed to `tenant` (0 for tenants never seen).
+  SimTime tenant_busy_time(std::uint32_t tenant) const {
+    return tenant < tenant_busy_.size() ? tenant_busy_[tenant] : 0;
+  }
+  /// Pending (queued, not yet dispatched) reservations right now.
+  std::size_t queue_depth() const { return sched_ ? sched_->size() : 0; }
+  std::size_t queue_depth_peak() const { return depth_peak_; }
+
+ private:
+  SimTime reserve(SimTime arrival, SimTime duration, const SchedTag& tag);
+  void enqueue(const SchedTag& tag, SimTime duration, Grant grant);
+  void pump();
+
+  sim::Simulator* sim_ = nullptr;
+  SchedulerConfig cfg_;
+  std::unique_ptr<Scheduler> sched_;  ///< null under FIFO (no queue needed)
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>> free_at_;
+  SimTime busy_until_ = 0;
+  SimTime busy_time_ = 0;
+  SimTime class_busy_[kIoClassCount] = {0, 0, 0, 0};
+  std::vector<SimTime> tenant_busy_;
+  std::size_t depth_peak_ = 0;
+  bool pumping_ = false;
+  bool timer_armed_ = false;
+};
+
+}  // namespace uc::sched

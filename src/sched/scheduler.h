@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file scheduler.h
+/// The pluggable queue discipline behind every `QueuedResource`.
+///
+/// A `Scheduler` holds the pending reservations of one contended resource
+/// and answers "who goes next?".  Three policies ship:
+///
+/// - **FIFO** — arrival order.  The default, and (via the synchronous grant
+///   path in `QueuedResource`) bit-identical to the pre-sched simulator.
+/// - **DRR-WFQ** — deficit round-robin across per-tenant flows.  Each visit
+///   to the ring replenishes `quantum_ns * weight(tenant)` of deficit; an
+///   item is served when the flow's deficit covers its service duration.
+///   Small-request tenants stop queueing behind a bulk writer's backlog.
+/// - **PRIO** — strict class priority (fg-read > fg-write > cleaner-gc >
+///   prefetch), FIFO within a class, with a starvation guard that promotes
+///   any head-of-line item that has waited longer than `starvation_ns`.
+///
+/// `peek()` computes (and caches) the selection without consuming it so
+/// admission-controlled queues (the QoS gate) can test the candidate
+/// against token buckets before committing.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/types.h"
+#include "sched/sched.h"
+
+namespace uc::sched {
+
+/// Grant callback: the reservation was placed; `finish` is when the
+/// resource is done serving it.  Fired synchronously under FIFO, at
+/// dispatch time under queued policies.
+using Grant = std::function<void(SimTime finish)>;
+
+/// One pending reservation.
+struct Item {
+  SchedTag tag;
+  SimTime enqueued = 0;  ///< when it entered the queue (starvation guard)
+  SimTime duration = 0;  ///< service cost on the resource, ns
+  Grant grant;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  void push(Item item) {
+    ++size_;
+    do_push(std::move(item));
+  }
+
+  /// The item `pop()` would return, or nullptr when empty.  The selection
+  /// is cached: repeated peeks (and the next pop) agree even if pushes
+  /// happen in between.
+  const Item* peek(SimTime now) {
+    if (!cached_) cached_ = do_select(now);
+    return cached_ ? &*cached_ : nullptr;
+  }
+
+  Item pop(SimTime now) {
+    if (!cached_) cached_ = do_select(now);
+    Item out = std::move(*cached_);
+    cached_.reset();
+    --size_;
+    return out;
+  }
+
+  /// Pending items, including a cached (peeked but unpopped) selection.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size() == 0; }
+
+ protected:
+  /// Moves one item out of the backing queues by policy; only called when
+  /// at least one item is pending.
+  virtual std::optional<Item> do_select(SimTime now) = 0;
+  virtual void do_push(Item item) = 0;
+
+ private:
+  std::optional<Item> cached_;
+  std::size_t size_ = 0;
+};
+
+/// Builds the policy object for `cfg.policy`.
+std::unique_ptr<Scheduler> make_scheduler(const SchedulerConfig& cfg);
+
+}  // namespace uc::sched

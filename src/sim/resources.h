@@ -3,42 +3,61 @@
 /// \file resources.h
 /// Contention primitives for event-driven device models.
 ///
-/// The models reserve time on shared resources (a flash channel bus, a NIC, a
-/// node's append pipeline) by asking "given I arrive at `now`, when does my
-/// transfer finish?".  Each resource tracks its own busy horizon, so a
-/// reservation is O(1) or O(log k) and no extra simulator events are needed —
-/// the caller schedules its completion at the returned time.
+/// The models reserve time on shared resources (a flash channel bus, a NIC,
+/// a node's append pipeline) by asking "given I arrive at `now`, when does
+/// my transfer finish?".  Since the sched refactor these are thin adapters
+/// over `sched::QueuedResource`: unconfigured they are plain FIFO horizon
+/// reservations, O(1)/O(log k) with no extra simulator events; configured
+/// with a policy (`configure()`) their tagged `submit()` path routes through
+/// the pluggable scheduler, so WFQ/priority can reorder across tenants and
+/// classes while FIFO stays bit-identical to the original primitives.
 
 #include <cstdint>
-#include <queue>
-#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
 #include "common/units.h"
+#include "sched/queued_resource.h"
 
 namespace uc::sim {
 
-/// A serially-shared resource: one user at a time, FIFO.
+/// A serially-shared resource: one user at a time; FIFO by default,
+/// policy-scheduled after `configure()`.
 class SerialResource {
  public:
   /// Reserves the resource for `duration` starting no earlier than `now`;
-  /// returns the completion time.
+  /// returns the completion time.  FIFO-only (untagged legacy path).
   SimTime acquire(SimTime now, SimTime duration) {
-    const SimTime start = now > busy_until_ ? now : busy_until_;
-    busy_until_ = start + duration;
-    busy_time_ += duration;
-    return busy_until_;
+    return q_.acquire(now, duration);
   }
 
-  SimTime busy_until() const { return busy_until_; }
+  /// Tagged synchronous reservation — the allocation-free FIFO fast path.
+  SimTime acquire(SimTime now, SimTime duration, const sched::SchedTag& tag) {
+    return q_.acquire(now, duration, tag);
+  }
+
+  /// Tagged, policy-aware reservation; `grant` fires with the completion
+  /// time (synchronously under FIFO, at dispatch under WFQ/PRIO).
+  void submit(SimTime arrival, const sched::SchedTag& tag, SimTime duration,
+              sched::Grant grant) {
+    q_.submit(arrival, tag, duration, std::move(grant));
+  }
+
+  void configure(Simulator& sim, const sched::SchedulerConfig& cfg) {
+    q_.configure(sim, cfg);
+  }
+
+  sched::Policy policy() const { return q_.policy(); }
+
+  SimTime busy_until() const { return q_.busy_until(); }
 
   /// Total time the resource has spent busy (for utilization accounting).
-  SimTime busy_time() const { return busy_time_; }
+  SimTime busy_time() const { return q_.busy_time(); }
+
+  const sched::QueuedResource& sched() const { return q_; }
 
  private:
-  SimTime busy_until_ = 0;
-  SimTime busy_time_ = 0;
+  sched::QueuedResource q_;
 };
 
 /// A bandwidth pipe: transfers serialize at `mb_per_s`.  Models NIC links,
@@ -51,50 +70,72 @@ class BandwidthPipe {
   }
 
   /// Reserves a `bytes` transfer starting no earlier than `now`; returns the
-  /// completion time.
+  /// completion time.  FIFO-only (untagged legacy path).
   SimTime transfer(SimTime now, std::uint64_t bytes) {
-    return serial_.acquire(now, transfer_time(bytes));
+    return q_.acquire(now, transfer_time(bytes));
   }
+
+  /// Tagged synchronous transfer — the allocation-free FIFO fast path.
+  SimTime transfer(SimTime now, std::uint64_t bytes,
+                   const sched::SchedTag& tag) {
+    return q_.acquire(now, transfer_time(bytes), tag);
+  }
+
+  /// Tagged transfer becoming eligible at `arrival`.
+  void submit(SimTime arrival, const sched::SchedTag& tag, std::uint64_t bytes,
+              sched::Grant grant) {
+    q_.submit(arrival, tag, transfer_time(bytes), std::move(grant));
+  }
+
+  void configure(Simulator& sim, const sched::SchedulerConfig& cfg) {
+    q_.configure(sim, cfg);
+  }
+
+  sched::Policy policy() const { return q_.policy(); }
 
   SimTime transfer_time(std::uint64_t bytes) const {
     return static_cast<SimTime>(static_cast<double>(bytes) * ns_per_byte_);
   }
 
-  SimTime busy_until() const { return serial_.busy_until(); }
-  SimTime busy_time() const { return serial_.busy_time(); }
+  SimTime busy_until() const { return q_.busy_until(); }
+  SimTime busy_time() const { return q_.busy_time(); }
   double ns_per_byte() const { return ns_per_byte_; }
+
+  const sched::QueuedResource& sched() const { return q_; }
 
  private:
   double ns_per_byte_;
-  SerialResource serial_;
+  sched::QueuedResource q_;
 };
 
-/// k identical servers with FIFO assignment to the earliest-free server.
-/// Models node CPU worker pools and parallel backend drives.
+/// k identical servers with assignment to the earliest-free server; FIFO by
+/// default, policy-scheduled after `configure()`.  Models node CPU worker
+/// pools and parallel backend drives.
 class MultiServer {
  public:
-  explicit MultiServer(int servers) {
-    UC_ASSERT(servers > 0, "need at least one server");
-    for (int i = 0; i < servers; ++i) free_at_.push(0);
-  }
+  explicit MultiServer(int servers) : q_(servers) {}
 
   /// Occupies the earliest-available server for `duration`; returns the
-  /// completion time.
+  /// completion time.  FIFO-only (untagged legacy path).
   SimTime acquire(SimTime now, SimTime duration) {
-    SimTime free = free_at_.top();
-    free_at_.pop();
-    const SimTime start = now > free ? now : free;
-    const SimTime end = start + duration;
-    free_at_.push(end);
-    busy_time_ += duration;
-    return end;
+    return q_.acquire(now, duration);
   }
 
-  SimTime busy_time() const { return busy_time_; }
+  void submit(SimTime arrival, const sched::SchedTag& tag, SimTime duration,
+              sched::Grant grant) {
+    q_.submit(arrival, tag, duration, std::move(grant));
+  }
+
+  void configure(Simulator& sim, const sched::SchedulerConfig& cfg) {
+    q_.configure(sim, cfg);
+  }
+
+  SimTime busy_time() const { return q_.busy_time(); }
+
+  const sched::QueuedResource& sched() const { return q_; }
 
  private:
-  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>> free_at_;
-  SimTime busy_time_ = 0;
+  sched::QueuedResource q_;
 };
 
 }  // namespace uc::sim

@@ -63,6 +63,51 @@ FairnessReport build_fairness_report(
   return report;
 }
 
+FairnessComparison compare_fairness(const FairnessReport& base,
+                                    const FairnessReport& alt) {
+  UC_ASSERT(base.tenants.size() == alt.tenants.size(),
+            "fairness comparison needs the same tenant list");
+  FairnessComparison cmp;
+  cmp.jain_delta = alt.jain_index - base.jain_index;
+  cmp.aggregate_change =
+      base.aggregate_gbs > 0.0
+          ? (alt.aggregate_gbs - base.aggregate_gbs) / base.aggregate_gbs
+          : 0.0;
+  for (std::size_t i = 0; i < base.tenants.size(); ++i) {
+    const TenantMetrics& a = base.tenants[i];
+    const TenantMetrics& b = alt.tenants[i];
+    FairnessDelta d;
+    d.name = a.name;
+    d.p99_change = a.p99_us > 0.0 ? (b.p99_us - a.p99_us) / a.p99_us : 0.0;
+    d.interference_change =
+        a.interference > 0.0 ? (b.interference - a.interference) / a.interference
+                             : 0.0;
+    d.share_change = b.share - a.share;
+    if (-d.interference_change > cmp.best_interference_improvement) {
+      cmp.best_interference_improvement = -d.interference_change;
+    }
+    cmp.tenants.push_back(std::move(d));
+  }
+  return cmp;
+}
+
+std::string FairnessComparison::to_table() const {
+  TextTable table({"tenant", "p99", "interf", "share"});
+  for (std::size_t c = 1; c < 4; ++c) {
+    table.set_align(c, TextTable::Align::kRight);
+  }
+  for (const FairnessDelta& d : tenants) {
+    table.add_row({d.name, strfmt("%+.1f%%", d.p99_change * 100.0),
+                   strfmt("%+.1f%%", d.interference_change * 100.0),
+                   strfmt("%+.1fpp", d.share_change * 100.0)});
+  }
+  std::string out = table.to_string();
+  out += strfmt("Jain %+0.4f, aggregate %+.1f%%, best tail buy-back %.1f%%\n",
+                jain_delta, aggregate_change * 100.0,
+                best_interference_improvement * 100.0);
+  return out;
+}
+
 std::string FairnessReport::to_table() const {
   const bool with_solo = has_solo_baselines;
   std::vector<std::string> header = {"tenant", "ops",   "GB/s",

@@ -53,6 +53,33 @@ FairnessReport build_fairness_report(const std::vector<TenantSpec>& specs,
                                      const std::vector<wl::JobStats>& colocated,
                                      const std::vector<wl::JobStats>& solo);
 
+/// Per-tenant change of an alternative policy's report against a baseline
+/// (same scenario, same tenants).  Negative p99/interference change =
+/// the alternative improved the tenant's tail.
+struct FairnessDelta {
+  std::string name;
+  double p99_change = 0.0;           ///< (alt - base) / base, colocated p99
+  double interference_change = 0.0;  ///< relative change of p99/solo-p99
+  double share_change = 0.0;         ///< absolute change of throughput share
+};
+
+/// The isolation buy-back of one policy over another: what each tenant's
+/// tail and share did, and how fairness moved overall.
+struct FairnessComparison {
+  std::vector<FairnessDelta> tenants;
+  double jain_delta = 0.0;       ///< alt - base
+  double aggregate_change = 0.0; ///< relative change of aggregate GB/s
+  /// Largest tail improvement across tenants (most negative
+  /// interference_change, reported positive; 0 if nothing improved).
+  double best_interference_improvement = 0.0;
+
+  std::string to_table() const;
+};
+
+/// Compares two reports tenant-by-tenant (same order required).
+FairnessComparison compare_fairness(const FairnessReport& base,
+                                    const FairnessReport& alt);
+
 /// Jain's fairness index over any non-negative allocation vector.
 double jain_index(const std::vector<double>& xs);
 

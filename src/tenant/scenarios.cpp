@@ -201,8 +201,17 @@ Built build(Scenario s, const ScenarioOptions& opt) {
 
 ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt) {
   Built b = build(s, opt);
+  // One knob steers every queue: the shared cluster resources and each
+  // device's own gate/frontend.  Per-tenant weights come from the specs
+  // (the host folds them into cluster.sched by VolumeId).
+  b.base.cluster.sched = opt.sched;
+  b.base.sched = opt.sched;
+  for (std::size_t i = 0; i < opt.weights.size() && i < b.tenants.size(); ++i) {
+    b.tenants[i].weight = opt.weights[i];
+  }
   ScenarioResult result;
   result.scenario = s;
+  result.policy = opt.sched.policy;
   result.tenants = b.tenants;
 
   sim::Simulator sim;
@@ -214,6 +223,7 @@ ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt) {
   result.makespan = colocated.makespan - colocated.measure_start;
   result.cluster = colocated.cluster;
   result.cleaner = colocated.cleaner;
+  result.fabric = colocated.fabric;
   result.colocated = std::move(colocated.stats);
 
   if (opt.solo_baselines) {

@@ -30,6 +30,8 @@
 #include "common/types.h"
 #include "ebs/cleaner.h"
 #include "ebs/cluster.h"
+#include "net/fabric.h"
+#include "sched/sched.h"
 #include "tenant/fairness.h"
 #include "tenant/tenant.h"
 
@@ -51,6 +53,15 @@ struct ScenarioOptions {
   bool quick = false;           ///< smaller volumes and shorter duration
   bool solo_baselines = true;   ///< compute interference ratios
   std::uint64_t seed = 42;      ///< workload seed base
+
+  /// Queue discipline at every shared resource (and the device-local
+  /// queues).  FIFO reproduces the pre-sched runs bit for bit; WFQ/priority
+  /// are the isolation policies under study.
+  sched::SchedulerConfig sched;
+
+  /// Optional per-tenant WFQ weight overrides, applied by tenant index
+  /// (missing entries keep the scenario's default of 1.0).
+  std::vector<double> weights;
 };
 
 struct ScenarioResult {
@@ -63,6 +74,8 @@ struct ScenarioResult {
   /// excluded), so the numbers diff cleanly across runs and PRs.
   ebs::ClusterStats cluster;
   ebs::CleanerStats cleaner;
+  net::FabricStats fabric;
+  sched::Policy policy = sched::Policy::kFifo;  ///< policy this run used
   SimTime makespan = 0;  ///< measured-window duration
 };
 

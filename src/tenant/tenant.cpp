@@ -33,6 +33,12 @@ SharedClusterHost::SharedClusterHost(sim::Simulator& sim,
                                      std::vector<TenantSpec> tenants)
     : sim_(sim), base_(base), tenants_(std::move(tenants)) {
   UC_ASSERT(!tenants_.empty(), "host needs at least one tenant");
+  // Tenant i attaches as VolumeId i, so the per-tenant WFQ weights are the
+  // spec weights in attach order.
+  base_.cluster.sched.weights.clear();
+  for (const TenantSpec& t : tenants_) {
+    base_.cluster.sched.weights.push_back(t.weight);
+  }
   cluster_ = std::make_unique<ebs::StorageCluster>(sim_, base_.cluster);
   devices_.reserve(tenants_.size());
   runners_.reserve(tenants_.size());
@@ -101,6 +107,14 @@ ebs::CleanerStats subtract(const ebs::CleanerStats& a,
   d.segments_cleaned = a.segments_cleaned - b.segments_cleaned;
   d.pages_relocated = a.pages_relocated - b.pages_relocated;
   d.bytes_processed = a.bytes_processed - b.bytes_processed;
+  d.tenant_segments.resize(a.tenant_segments.size());
+  d.tenant_pages.resize(a.tenant_pages.size());
+  for (std::size_t i = 0; i < a.tenant_segments.size(); ++i) {
+    d.tenant_segments[i] =
+        a.tenant_segments[i] - b.tenant_segments_cleaned(static_cast<std::uint32_t>(i));
+    d.tenant_pages[i] =
+        a.tenant_pages[i] - b.tenant_pages_relocated(static_cast<std::uint32_t>(i));
+  }
   return d;
 }
 
@@ -117,6 +131,7 @@ HostResult SharedClusterHost::run() {
   result.measure_start = sim_.now();
   const ebs::ClusterStats cluster_before = cluster_->stats();
   const ebs::CleanerStats cleaner_before = cluster_->cleaner().stats();
+  const net::FabricStats fabric_before = cluster_->fabric().stats();
   for (auto& runner : runners_) runner->start();
   sim_.run();
   result.stats.reserve(runners_.size());
@@ -129,6 +144,7 @@ HostResult SharedClusterHost::run() {
   }
   result.cluster = subtract(cluster_->stats(), cluster_before);
   result.cleaner = subtract(cluster_->cleaner().stats(), cleaner_before);
+  result.fabric = net::subtract(cluster_->fabric().stats(), fabric_before);
   return result;
 }
 

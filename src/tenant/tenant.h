@@ -33,6 +33,10 @@ struct TenantSpec {
   essd::QosConfig qos;
   wl::JobSpec job;
 
+  /// Fair-queueing weight at every shared cluster resource (WFQ policy
+  /// only); the host folds these into `cluster.sched.weights` by VolumeId.
+  double weight = 1.0;
+
   /// Bytes to write sequentially into the job's region before the measured
   /// job starts (so read workloads hit media-backed data, not metadata
   /// zeros).  All tenants precondition concurrently, then the cluster
@@ -45,18 +49,22 @@ struct HostResult {
   std::vector<wl::JobStats> stats;  ///< per tenant, in spec order
   SimTime makespan = 0;             ///< latest completion across tenants
   SimTime measure_start = 0;        ///< when measured jobs began (after fill)
-  /// Cluster/cleaner activity within the measured window only — the
+  /// Cluster/cleaner/fabric activity within the measured window only — the
   /// precondition fill phase is subtracted out, so these diff cleanly
   /// across runs and PRs.
   ebs::ClusterStats cluster;
   ebs::CleanerStats cleaner;
+  net::FabricStats fabric;
 };
 
 /// Builds the shared cluster from `base.cluster` (so `spare_pool_bytes` is
 /// the *cluster-wide* headroom), attaches one volume per tenant, and runs
 /// every tenant's job concurrently on the host's simulator.  Frontend and
 /// cluster latency parameters come from `base`; capacity, QoS, and workload
-/// come from each `TenantSpec`.
+/// come from each `TenantSpec`.  The scheduling policy knob is
+/// `base.cluster.sched` (+ `base.sched` for the device-local queues); the
+/// host overwrites `cluster.sched.weights` with the tenants' weights in
+/// attach order.
 class SharedClusterHost {
  public:
   SharedClusterHost(sim::Simulator& sim, const essd::EssdConfig& base,

@@ -112,6 +112,37 @@ TEST(Determinism, ThreeTenantSharedClusterIsBitIdentical) {
   }
 }
 
+// The sched refactor's contract: under the default FIFO policy the entire
+// request path (QoS gate, frontend pipe, NIC pipes, node pipelines,
+// cleaner) must reproduce the pre-refactor simulator bit for bit.  These
+// digests were captured from the seed tree before `src/sched/` existed; a
+// change here means the FIFO fast path is no longer the identity.
+TEST(Determinism, FifoDigestsMatchPreSchedSeed) {
+  const auto r = run_three_tenants(4242);
+  EXPECT_EQ(r.makespan, 137686008u);
+  ASSERT_EQ(r.stats.size(), 3u);
+  EXPECT_EQ(r.stats[0].last_complete, 137686008u);
+  EXPECT_EQ(r.stats[1].last_complete, 129940945u);
+  EXPECT_EQ(r.stats[2].last_complete, 99521141u);
+  EXPECT_EQ(r.stats[0].all_latency.max(), 519085u);
+  EXPECT_EQ(r.stats[1].all_latency.max(), 606057u);
+  EXPECT_EQ(r.stats[2].all_latency.max(), 602528u);
+  EXPECT_DOUBLE_EQ(r.stats[0].all_latency.mean(), 344096.54249999998);
+  EXPECT_DOUBLE_EQ(r.stats[1].all_latency.mean(), 486685.46124999999);
+  EXPECT_DOUBLE_EQ(r.stats[2].all_latency.mean(), 496495.08624999999);
+  EXPECT_EQ(r.stats[0].write_bytes, 1744896u);
+  EXPECT_EQ(r.stats[0].read_bytes, 1531904u);
+  EXPECT_EQ(r.stats[1].read_bytes, 52428800u);
+  EXPECT_EQ(r.stats[2].write_bytes, 52428800u);
+}
+
+TEST(Determinism, SoloEssdDigestMatchesPreSchedSeed) {
+  const auto s = run_essd(1234);
+  EXPECT_EQ(s.last_complete, 187141779u);
+  EXPECT_EQ(s.all_latency.max(), 440074u);
+  EXPECT_DOUBLE_EQ(s.all_latency.mean(), 374043.842);
+}
+
 TEST(Determinism, ThreeTenantSeedsDiverge) {
   const auto a = run_three_tenants(1);
   const auto b = run_three_tenants(2);

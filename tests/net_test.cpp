@@ -69,6 +69,42 @@ TEST(Fabric, JitterIsSeedDeterministic) {
   }
 }
 
+TEST(Fabric, PerNodeByteCountersAndUtilization) {
+  Fabric fabric(deterministic_config(), Rng(1));
+  fabric.to_node(0, 2, 4096);
+  fabric.to_node(0, 2, 4096);
+  fabric.to_vm(0, 1, 8192);
+  EXPECT_EQ(fabric.vm_tx_bytes(), 8192u);
+  EXPECT_EQ(fabric.vm_rx_bytes(), 8192u);
+  EXPECT_EQ(fabric.node_rx_bytes(2), 8192u);
+  EXPECT_EQ(fabric.node_rx_bytes(1), 0u);
+  EXPECT_EQ(fabric.node_tx_bytes(1), 8192u);
+  EXPECT_EQ(fabric.node_tx_bytes(2), 0u);
+  // Occupancy: 1 ns/byte pipes.
+  EXPECT_EQ(fabric.vm_tx_busy_ns(), 8192u);
+  EXPECT_EQ(fabric.node_rx_busy_ns(2), 8192u);
+  EXPECT_EQ(fabric.node_tx_busy_ns(1), 8192u);
+  EXPECT_EQ(fabric.vm_rx_busy_ns(), 8192u);
+  EXPECT_EQ(fabric.node_rx_busy_ns(0), 0u);
+
+  const FabricStats s = fabric.stats();
+  EXPECT_EQ(s.vm_tx_bytes, 8192u);
+  EXPECT_EQ(s.node_rx_bytes[2], 8192u);
+  const FabricStats d = subtract(fabric.stats(), s);
+  EXPECT_EQ(d.vm_tx_bytes, 0u);
+  EXPECT_EQ(d.node_rx_bytes[2], 0u);
+}
+
+TEST(Fabric, TaggedFifoPathMatchesUntagged) {
+  Fabric a(deterministic_config(), Rng(1));
+  Fabric b(deterministic_config(), Rng(1));
+  const SimTime plain = a.to_node(0, 2, 4096);
+  SimTime tagged = 0;
+  b.to_node(0, 2, 4096, sched::SchedTag{0, sched::IoClass::kFgWrite, 4096},
+            [&](SimTime t) { tagged = t; });
+  EXPECT_EQ(tagged, plain);  // synchronous grant, identical arithmetic
+}
+
 TEST(Fabric, RejectsBadNodeIndex) {
   Fabric fabric(deterministic_config(), Rng(1));
   EXPECT_EQ(fabric.nodes(), 4);
