@@ -3,6 +3,9 @@
 // write ceiling and therefore the Observation-3 gain; (b) the replication
 // factor — which multiplies fan-out cost; and (c) cleaner bandwidth vs
 // spare-pool size — which decides whether a Figure-3 cliff exists at all.
+//
+// --json <path> emits the shared {bench, config, metrics} schema with one
+// row per sweep point in each of the three sweeps.
 
 #include <cstdint>
 #include <cstdio>
@@ -56,7 +59,7 @@ contract::GcCliff gc_cliff(const essd::EssdConfig& cfg, double multiples) {
 
 int main(int argc, char** argv) {
   using namespace uc;
-  const auto scale = bench::parse_scale(argc, argv);
+  const auto scale = bench::parse_scale(argc, argv, /*supports_json=*/true);
   const std::uint64_t capacity = scale.quick ? (8ull << 30) : (16ull << 30);
   const SimTime duration = scale.quick ? units::kSec / 2 : units::kSec;
 
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n(a) per-chunk append bandwidth -> Observation 3 gain\n");
   TextTable t1({"node append MB/s", "rand GB/s", "seq GB/s", "gain"});
+  bench::Json chunk_rows = bench::Json::array();
   for (const double mbps : {430.0, 900.0, 2200.0}) {
     auto cfg = essd::alibaba_pl3_profile(capacity);
     cfg.cluster.node_append_mbps = mbps;
@@ -75,11 +79,18 @@ int main(int argc, char** argv) {
     t1.add_row({strfmt("%.0f", mbps), strfmt("%.2f", rnd),
                 strfmt("%.2f", seq),
                 strfmt("%.2fx", seq > 0 ? rnd / seq : 0.0)});
+    bench::Json row = bench::Json::object();
+    row.set("node_append_mbps", mbps);
+    row.set("rand_gbs", rnd);
+    row.set("seq_gbs", seq);
+    row.set("gain", seq > 0 ? rnd / seq : 0.0);
+    chunk_rows.push(std::move(row));
   }
   std::printf("%s", t1.to_string().c_str());
 
   std::printf("\n(b) replication factor -> write path cost\n");
   TextTable t2({"replication", "rand write GB/s", "4K QD1 avg (us)"});
+  bench::Json repl_rows = bench::Json::array();
   for (const int r : {1, 2, 3}) {
     auto cfg = essd::aws_io2_profile(capacity);
     cfg.cluster.replication = r;
@@ -95,6 +106,11 @@ int main(int argc, char** argv) {
     const double rnd = write_gbs(cfg, wl::AccessPattern::kRandom, duration);
     t2.add_row({strfmt("%d", r), strfmt("%.2f", rnd),
                 strfmt("%.0f", lat_stats.all_latency.mean() / 1e3)});
+    bench::Json row = bench::Json::object();
+    row.set("replication", r);
+    row.set("rand_gbs", rnd);
+    row.set("qd1_avg_us", lat_stats.all_latency.mean() / 1e3);
+    repl_rows.push(std::move(row));
   }
   std::printf("%s", t2.to_string().c_str());
 
@@ -106,6 +122,7 @@ int main(int argc, char** argv) {
     double cleaner;
     double spare;
   };
+  bench::Json cleaner_rows = bench::Json::array();
   for (const Case c : {Case{420.0, 0.5}, Case{420.0, 1.3}, Case{2600.0, 0.5}}) {
     auto cfg = essd::aws_io2_profile(capacity);
     cfg.cluster.cleaner.processing_mbps = c.cleaner;
@@ -117,7 +134,27 @@ int main(int argc, char** argv) {
                             : std::string("none"),
                 cliff.found ? strfmt("%.2f", cliff.post_gbs)
                             : strfmt("%.2f", cliff.final_gbs)});
+    bench::Json row = bench::Json::object();
+    row.set("cleaner_mbps", c.cleaner);
+    row.set("spare_xcap", c.spare);
+    row.set("cliff_found", cliff.found);
+    row.set("cliff_xcap", cliff.found ? cliff.at_capacity_multiple : 0.0);
+    row.set("post_gbs", cliff.found ? cliff.post_gbs : cliff.final_gbs);
+    cleaner_rows.push(std::move(row));
   }
   std::printf("%s", t3.to_string().c_str());
+
+  bench::Json config = bench::Json::object();
+  config.set("quick", scale.quick);
+  config.set("capacity_bytes", capacity);
+  config.set("duration_s", static_cast<double>(duration) / 1e9);
+  config.set("capacity_multiples", multiples);
+  bench::Json metrics = bench::Json::object();
+  metrics.set("chunk_bandwidth", std::move(chunk_rows));
+  metrics.set("replication", std::move(repl_rows));
+  metrics.set("cleaner_vs_spare", std::move(cleaner_rows));
+  bench::maybe_write_json(
+      scale, bench::bench_report("ablation_essd", std::move(config),
+                                 std::move(metrics)));
   return 0;
 }

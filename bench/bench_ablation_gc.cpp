@@ -3,6 +3,9 @@
 // selection and the spare-superblock count, reporting steady-state write
 // amplification, sustained random-write throughput, and the GC-cliff
 // position — the knobs that place the SSD curve in Figure 3.
+//
+// --json <path> emits the shared {bench, config, metrics} schema with one
+// row per (policy, spare-superblock) sweep point.
 
 #include <cstdint>
 #include <cstdio>
@@ -74,7 +77,7 @@ AblationResult run(std::uint64_t capacity, ftl::GcPolicy policy,
 
 int main(int argc, char** argv) {
   using namespace uc;
-  const auto scale = bench::parse_scale(argc, argv);
+  const auto scale = bench::parse_scale(argc, argv, /*supports_json=*/true);
   const std::uint64_t capacity = scale.quick ? (8ull << 30) : (16ull << 30);
   const double multiples = scale.quick ? 2.0 : 2.5;
 
@@ -85,19 +88,44 @@ int main(int argc, char** argv) {
 
   TextTable table({"policy", "spare SBs", "cliff (xcap)", "plateau GB/s",
                    "final GB/s", "WA", "stall %"});
+  bench::Json sweep = bench::Json::array();
   for (const auto policy : {ftl::GcPolicy::kGreedy,
                             ftl::GcPolicy::kCostBenefit}) {
     for (const std::uint64_t spare : {8ull, 12ull, 20ull}) {
       const auto r = run(capacity, policy, spare, multiples);
+      const char* policy_name =
+          policy == ftl::GcPolicy::kGreedy ? "greedy" : "cost-benefit";
       table.add_row(
-          {policy == ftl::GcPolicy::kGreedy ? "greedy" : "cost-benefit",
+          {policy_name,
            strfmt("%llu", static_cast<unsigned long long>(spare)),
            r.cliff_multiple > 0 ? strfmt("%.2f", r.cliff_multiple)
                                 : std::string("none"),
            strfmt("%.2f", r.plateau_gbs), strfmt("%.2f", r.final_gbs),
            strfmt("%.2f", r.wa), strfmt("%.1f", r.stall_pct)});
+      bench::Json row = bench::Json::object();
+      row.set("policy", policy_name);
+      row.set("spare_superblocks", spare);
+      row.set("cliff_found", r.cliff_multiple > 0);
+      row.set("cliff_xcap", r.cliff_multiple);
+      row.set("plateau_gbs", r.plateau_gbs);
+      row.set("final_gbs", r.final_gbs);
+      row.set("write_amplification", r.wa);
+      row.set("stall_pct", r.stall_pct);
+      sweep.push(std::move(row));
     }
   }
   std::printf("%s", table.to_string().c_str());
+
+  bench::Json config = bench::Json::object();
+  config.set("quick", scale.quick);
+  config.set("capacity_bytes", capacity);
+  config.set("capacity_multiples", multiples);
+  config.set("io_bytes", 131072);
+  config.set("queue_depth", 32);
+  bench::Json metrics = bench::Json::object();
+  metrics.set("sweep", std::move(sweep));
+  bench::maybe_write_json(
+      scale, bench::bench_report("ablation_gc", std::move(config),
+                                 std::move(metrics)));
   return 0;
 }

@@ -15,6 +15,14 @@
 // noisy-neighbour victims' colocated p99 must be >= 2x their solo baseline
 // under FIFO, WFQ (equal weights) must improve the victims' interference
 // ratio by >= 25%, and fair-share must hold a Jain index >= 0.95.
+//
+// Since the placement refactor it is also the cross-cluster study:
+// `--clusters N` (default 1: bit-identical to the single-cluster bench)
+// reruns noisy-neighbour and fair-share per placement policy
+// (`--placement spread|pack|least-loaded|least-weight`, default: all
+// three byte-based policies) over N clusters, reports per-cluster Jain
+// indices, and demonstrates watermark-triggered live migration relieving a
+// deliberately packed placement.  Spread must beat pack on victim tails.
 
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +32,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "placement/placement.h"
 #include "sched/sched.h"
 #include "tenant/scenarios.h"
 
@@ -102,6 +111,76 @@ double worst_victim_interference(const tenant::ScenarioResult& r) {
   return worst;
 }
 
+double mean_victim_interference(const tenant::FairnessReport& report) {
+  double sum = 0.0;
+  int victims = 0;
+  for (const auto& m : report.tenants) {
+    if (m.name.rfind("victim", 0) != 0) continue;
+    sum += m.interference;
+    ++victims;
+  }
+  return victims == 0 ? 0.0 : sum / victims;
+}
+
+bench::Json placement_scenario_json(
+    const placement::PlacementScenarioResult& r) {
+  bench::Json s = bench::Json::object();
+  s.set("name", tenant::scenario_name(r.scenario));
+  s.set("jain_index", r.report.jain_index);
+  s.set("aggregate_gbs", r.report.aggregate_gbs);
+  s.set("makespan_s", static_cast<double>(r.makespan) / 1e9);
+  s.set("victim_mean_interference", mean_victim_interference(r.report));
+  bench::Json per_cluster_jain = bench::Json::array();
+  bench::Json per_cluster_gbs = bench::Json::array();
+  for (const auto& rep : r.per_cluster) {
+    per_cluster_jain.push(rep.jain_index);
+    per_cluster_gbs.push(rep.aggregate_gbs);
+  }
+  s.set("per_cluster_jain", std::move(per_cluster_jain));
+  s.set("per_cluster_aggregate_gbs", std::move(per_cluster_gbs));
+  bench::Json initial = bench::Json::array();
+  bench::Json final_c = bench::Json::array();
+  for (const int c : r.initial_cluster) initial.push(c);
+  for (const int c : r.final_cluster) final_c.push(c);
+  s.set("initial_cluster", std::move(initial));
+  s.set("final_cluster", std::move(final_c));
+  s.set("migrations", static_cast<std::uint64_t>(r.migrations.size()));
+  std::uint64_t pages_copied = 0;
+  SimTime frozen_ns = 0;
+  for (const auto& m : r.migrations) {
+    pages_copied += m.stats.pages_copied;
+    frozen_ns += m.stats.frozen_ns;
+  }
+  s.set("migration_pages_copied", pages_copied);
+  s.set("migration_frozen_ms", static_cast<double>(frozen_ns) / 1e6);
+  bench::Json tenants = bench::Json::array();
+  for (const auto& m : r.report.tenants) tenants.push(tenant_json(m));
+  s.set("tenants", std::move(tenants));
+  return s;
+}
+
+void print_placement_scenario(const char* policy,
+                              const placement::PlacementScenarioResult& r) {
+  std::printf("\n--- %s [placement=%s, %zu clusters] ---\n%s",
+              tenant::scenario_name(r.scenario), policy,
+              r.per_cluster.size(), r.report.to_table().c_str());
+  for (std::size_t c = 0; c < r.per_cluster.size(); ++c) {
+    std::printf("cluster %zu: %zu tenant(s), Jain %.4f, %.3f GB/s\n", c,
+                r.per_cluster[c].tenants.size(), r.per_cluster[c].jain_index,
+                r.per_cluster[c].aggregate_gbs);
+  }
+  if (!r.migrations.empty()) {
+    for (const auto& m : r.migrations) {
+      std::printf(
+          "migration: tenant %zu cluster %d -> %d, %llu pages in %d passes, "
+          "frozen %.2f ms\n",
+          m.tenant, m.from_cluster, m.to_cluster,
+          static_cast<unsigned long long>(m.stats.pages_copied),
+          m.stats.passes, static_cast<double>(m.stats.frozen_ns) / 1e6);
+    }
+  }
+}
+
 void print_scenario(const tenant::ScenarioResult& r) {
   std::printf("\n--- %s [%s] ---\n(%s)\n%s", tenant::scenario_name(r.scenario),
               sched::policy_name(r.policy), tenant::scenario_blurb(r.scenario),
@@ -126,11 +205,34 @@ int main(int argc, char** argv) {
 
   // --sched restricts the study to one alternative policy (or to FIFO
   // alone); --weights sets per-tenant WFQ weights by tenant index.
+  // --clusters N (with optional --placement) switches on the cross-cluster
+  // placement study.
   bool want_wfq = true;
   bool want_prio = true;
+  bool sched_given = false;
+  int clusters = 1;
+  std::vector<placement::Policy> placements;
   std::vector<double> weights;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--sched") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
+      clusters = std::atoi(argv[i + 1]);
+      if (clusters < 1) {
+        std::fprintf(stderr, "error: --clusters wants a positive count\n");
+        return 2;
+      }
+      ++i;
+    } else if (std::strcmp(argv[i], "--placement") == 0 && i + 1 < argc) {
+      placement::Policy p;
+      if (!placement::parse_policy(argv[i + 1], &p)) {
+        std::fprintf(stderr,
+                     "error: unknown placement '%s' "
+                     "(spread|pack|least-loaded|least-weight)\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      placements.push_back(p);
+      ++i;
+    } else if (std::strcmp(argv[i], "--sched") == 0 && i + 1 < argc) {
       sched::Policy p;
       if (!sched::parse_policy(argv[i + 1], &p)) {
         std::fprintf(stderr, "error: unknown policy '%s' (fifo|wfq|prio)\n",
@@ -139,6 +241,7 @@ int main(int argc, char** argv) {
       }
       want_wfq = p == sched::Policy::kWfq;
       want_prio = p == sched::Policy::kPrio;
+      sched_given = true;
       ++i;
     } else if (std::strcmp(argv[i], "--weights") == 0 && i + 1 < argc) {
       const char* s = argv[i + 1];
@@ -160,11 +263,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!placements.empty() && clusters < 2) {
+    std::fprintf(stderr, "error: --placement needs --clusters >= 2\n");
+    return 2;
+  }
+  if (sched_given && clusters > 1) {
+    // Refuse rather than silently drop the flag: the placement study runs
+    // FIFO-only, so an explicit --sched request cannot be honoured.
+    std::fprintf(stderr,
+                 "error: --sched and --clusters are mutually exclusive (the "
+                 "placement study runs FIFO-only)\n");
+    return 2;
+  }
+  if (clusters > 1) {
+    // The cross-cluster study replaces the scheduling-policy reruns (the
+    // baseline scenarios and placement runs all use FIFO).
+    want_wfq = false;
+    want_prio = false;
+    if (placements.empty()) {
+      placements = {placement::Policy::kSpread, placement::Policy::kPack,
+                    placement::Policy::kLeastLoadedBytes};
+    }
+  }
+
   bench::print_header(
       "Multi-tenant colocation — shared cluster, per-tenant QoS, pluggable "
-      "scheduling",
+      "scheduling, cross-cluster placement",
       "beyond the paper: its single-volume observations re-measured under "
-      "colocation, and the isolation each scheduling policy buys back");
+      "colocation, the isolation each scheduling policy buys back, and what "
+      "volume placement does to interference");
 
   tenant::ScenarioOptions opt;
   opt.quick = scale.quick;
@@ -247,10 +374,107 @@ int main(int argc, char** argv) {
     buyback.push(std::move(bb));
   }
 
+  // ------------------------------------------------- placement study --
+  // Re-run the contention scenarios over N clusters per placement policy,
+  // then show live migration repairing a deliberately packed placement.
+  bench::Json placement_json = bench::Json::object();
+  if (clusters > 1) {
+    placement::PlacementScenarioOptions popt;
+    popt.base = opt;
+    popt.placement.clusters = clusters;
+
+    const std::vector<tenant::Scenario> placement_study = {
+        tenant::Scenario::kNoisyNeighbor, tenant::Scenario::kFairShare};
+
+    bench::Json pol_array = bench::Json::array();
+    double pack_victims = 0.0;
+    double spread_victims = 0.0;
+    for (const placement::Policy p : placements) {
+      popt.placement.policy = p;
+      bench::Json pol = bench::Json::object();
+      pol.set("placement", placement::policy_name(p));
+      bench::Json pol_scenarios = bench::Json::array();
+      for (const tenant::Scenario s : placement_study) {
+        const auto result = placement::run_placement_scenario(s, popt);
+        print_placement_scenario(placement::policy_name(p), result);
+        if (s == tenant::Scenario::kNoisyNeighbor) {
+          const double victims = mean_victim_interference(result.report);
+          std::printf("victim mean interference under %s: %.2fx\n",
+                      placement::policy_name(p), victims);
+          if (p == placement::Policy::kPack) pack_victims = victims;
+          if (p == placement::Policy::kSpread) spread_victims = victims;
+        }
+        pol_scenarios.push(placement_scenario_json(result));
+      }
+      pol.set("scenarios", std::move(pol_scenarios));
+      pol_array.push(std::move(pol));
+    }
+    placement_json.set("clusters", clusters);
+    placement_json.set("policies", std::move(pol_array));
+    if (pack_victims > 0.0 && spread_victims > 0.0) {
+      const double improvement = 1.0 - spread_victims / pack_victims;
+      std::printf(
+          "\nspread vs pack victim interference improvement: %.1f%% "
+          "(spread must win)\n",
+          improvement * 100.0);
+      placement_json.set("spread_vs_pack_victim_improvement", improvement);
+    }
+
+    // Migration relief: pack the cleaner-pressure mix onto cluster 0 — the
+    // aggregate overwrite load outruns that cluster's cleaner and appends
+    // stall — then rerun with the watermark moving one tenant out mid-run.
+    // Stall time and aggregate throughput are cumulative, so the relief is
+    // visible even though the copy itself takes simulated time.
+    placement::PlacementScenarioOptions packed = popt;
+    packed.placement.policy = placement::Policy::kPack;
+    packed.placement.pack_limit_bytes = 0;  // deliberately imbalanced
+    const auto congested = placement::run_placement_scenario(
+        tenant::Scenario::kCleanerPressure, packed);
+    print_placement_scenario("pack", congested);
+
+    placement::PlacementScenarioOptions relief = packed;
+    relief.placement.rebalance_watermark = 1.25;
+    relief.placement.rebalance_interval = 10 * units::kMs;
+    const auto relieved = placement::run_placement_scenario(
+        tenant::Scenario::kCleanerPressure, relief);
+    print_placement_scenario("pack+migration", relieved);
+
+    const auto total_stall_ms = [](const placement::PlacementScenarioResult&
+                                       r) {
+      SimTime ns = 0;
+      for (const auto& c : r.cluster) ns += c.append_stall_ns;
+      return static_cast<double>(ns) / 1e6;
+    };
+    std::printf(
+        "\nmigration relief (cleaner-pressure packed on cluster 0): "
+        "stalled %.1f ms -> %.1f ms, aggregate %.3f -> %.3f GB/s "
+        "(%zu migration(s))\n",
+        total_stall_ms(congested), total_stall_ms(relieved),
+        congested.report.aggregate_gbs, relieved.report.aggregate_gbs,
+        relieved.migrations.size());
+
+    bench::Json relief_json = bench::Json::object();
+    relief_json.set("scenario",
+                    tenant::scenario_name(tenant::Scenario::kCleanerPressure));
+    relief_json.set("watermark", relief.placement.rebalance_watermark);
+    relief_json.set("packed", placement_scenario_json(congested));
+    relief_json.set("relieved", placement_scenario_json(relieved));
+    relief_json.set("stall_ms_packed", total_stall_ms(congested));
+    relief_json.set("stall_ms_relieved", total_stall_ms(relieved));
+    relief_json.set("aggregate_gbs_packed", congested.report.aggregate_gbs);
+    relief_json.set("aggregate_gbs_relieved", relieved.report.aggregate_gbs);
+    relief_json.set("migrations",
+                    static_cast<std::uint64_t>(relieved.migrations.size()));
+    placement_json.set("migration_relief", std::move(relief_json));
+  }
+
   bench::Json config = bench::Json::object();
   config.set("quick", opt.quick);
   config.set("seed", opt.seed);
   config.set("solo_baselines", opt.solo_baselines);
+  // Only a multi-cluster run grows the envelope; --clusters 1 output stays
+  // byte-identical to the single-cluster bench.
+  if (clusters > 1) config.set("clusters", clusters);
   bench::Json wjson = bench::Json::array();
   for (const double w : weights) wjson.push(w);
   config.set("weights", std::move(wjson));
@@ -258,6 +482,7 @@ int main(int argc, char** argv) {
   metrics.set("scenarios", std::move(scenarios));
   metrics.set("policies", std::move(policies));
   metrics.set("buyback", std::move(buyback));
+  if (clusters > 1) metrics.set("placement", std::move(placement_json));
   bench::maybe_write_json(
       scale, bench::bench_report("multi_tenant", std::move(config),
                                  std::move(metrics)));

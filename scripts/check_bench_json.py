@@ -51,6 +51,48 @@ def check_scenario(path, s):
         check_tenant(path, tenant)
 
 
+def check_placement_scenario(path, s):
+    for key in ("name", "jain_index", "aggregate_gbs", "makespan_s",
+                "victim_mean_interference", "per_cluster_jain",
+                "per_cluster_aggregate_gbs", "initial_cluster",
+                "final_cluster", "migrations", "migration_pages_copied",
+                "migration_frozen_ms", "tenants"):
+        if key not in s:
+            fail(path, f"placement scenario '{s.get('name')}' missing '{key}'")
+    if len(s["per_cluster_jain"]) != len(s["per_cluster_aggregate_gbs"]):
+        fail(path, "per-cluster arrays disagree on the cluster count")
+    if len(s["initial_cluster"]) != len(s["final_cluster"]):
+        fail(path, "initial/final cluster assignments differ in length")
+    for tenant in s["tenants"]:
+        check_tenant(path, tenant)
+
+
+def check_placement(path, placement):
+    clusters = placement.get("clusters")
+    if not isinstance(clusters, int) or clusters < 2:
+        fail(path, "metrics.placement.clusters must be an int >= 2")
+    policies = placement.get("policies")
+    if not isinstance(policies, list) or not policies:
+        fail(path, "metrics.placement.policies must be a non-empty array")
+    for p in policies:
+        if "placement" not in p:
+            fail(path, "placement policy entry missing 'placement'")
+        if not isinstance(p.get("scenarios"), list) or not p["scenarios"]:
+            fail(path, f"placement '{p['placement']}' needs scenarios")
+        for s in p["scenarios"]:
+            check_placement_scenario(path, s)
+    relief = placement.get("migration_relief")
+    if relief is not None:
+        for key in ("scenario", "watermark", "packed", "relieved",
+                    "stall_ms_packed", "stall_ms_relieved",
+                    "aggregate_gbs_packed", "aggregate_gbs_relieved",
+                    "migrations"):
+            if key not in relief:
+                fail(path, f"migration_relief missing '{key}'")
+        check_placement_scenario(path, relief["packed"])
+        check_placement_scenario(path, relief["relieved"])
+
+
 def check_multi_tenant(path, metrics):
     scenarios = metrics.get("scenarios")
     if not isinstance(scenarios, list) or not scenarios:
@@ -82,6 +124,9 @@ def check_multi_tenant(path, metrics):
                     "fair_share_jain"):
             if key not in b:
                 fail(path, f"buyback entry missing '{key}'")
+    # The cross-cluster placement study rides along when --clusters > 1.
+    if "placement" in metrics:
+        check_placement(path, metrics["placement"])
 
 
 def check_fig2(path, metrics):
@@ -146,6 +191,53 @@ def check_fig5(path, metrics):
                     fail(path, f"sweep cell missing '{key}'")
 
 
+def check_fig4(path, metrics):
+    devices = metrics.get("devices")
+    if not isinstance(devices, list) or len(devices) != 3:
+        fail(path, "metrics.devices must list ESSD-1, ESSD-2, and the SSD")
+    for dev in devices:
+        for key in ("device", "max_gain", "cells"):
+            if key not in dev:
+                fail(path, f"pattern-gain device row missing '{key}'")
+        if not isinstance(dev["cells"], list) or not dev["cells"]:
+            fail(path, "each pattern-gain device needs a non-empty cells array")
+        for cell in dev["cells"]:
+            for key in ("io_bytes", "queue_depth", "rand_gbs", "seq_gbs",
+                        "gain"):
+                if key not in cell:
+                    fail(path, f"pattern-gain cell missing '{key}'")
+
+
+def check_ablation_essd(path, metrics):
+    for sweep, keys in (
+            ("chunk_bandwidth", ("node_append_mbps", "rand_gbs", "seq_gbs",
+                                 "gain")),
+            ("replication", ("replication", "rand_gbs", "qd1_avg_us")),
+            ("cleaner_vs_spare", ("cleaner_mbps", "spare_xcap", "cliff_found",
+                                  "cliff_xcap", "post_gbs"))):
+        rows = metrics.get(sweep)
+        if not isinstance(rows, list) or not rows:
+            fail(path, f"metrics.{sweep} must be a non-empty array")
+        for row in rows:
+            for key in keys:
+                if key not in row:
+                    fail(path, f"{sweep} row missing '{key}'")
+
+
+def check_ablation_gc(path, metrics):
+    sweep = metrics.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        fail(path, "metrics.sweep must be a non-empty array")
+    for row in sweep:
+        for key in ("policy", "spare_superblocks", "cliff_found", "cliff_xcap",
+                    "plateau_gbs", "final_gbs", "write_amplification",
+                    "stall_pct"):
+            if key not in row:
+                fail(path, f"gc sweep row missing '{key}'")
+        if row["policy"] not in ("greedy", "cost-benefit"):
+            fail(path, f"unknown gc policy: {row['policy']}")
+
+
 def check_sim_micro(path, metrics):
     benchmarks = metrics.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
@@ -162,7 +254,10 @@ CHECKS = {
     "fig2_latency": check_fig2,
     "table1": check_table1,
     "fig3_gc": check_fig3,
+    "fig4_pattern": check_fig4,
     "fig5_budget": check_fig5,
+    "ablation_essd": check_ablation_essd,
+    "ablation_gc": check_ablation_gc,
     "sim_micro": check_sim_micro,
 }
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Checks markdown links so the docs cannot rot silently.
+
+For every markdown file given (directories are walked for *.md):
+  - relative link targets must exist on disk,
+  - `#anchor` fragments pointing at markdown files must match a heading
+    (GitHub-style slugs) in the target file,
+  - external links (http/https/mailto) are *not* fetched — CI must not
+    depend on the network — they are only checked for empty targets.
+
+Fenced code blocks and inline code spans are ignored.
+Exit 0 = every link resolves.
+
+Usage: scripts/check_markdown_links.py <file-or-dir> [<file-or-dir>...]
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+FENCE_RE = re.compile(r"^```.*?^```", re.M | re.S)
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+
+def strip_code(text):
+    return INLINE_CODE_RE.sub("", FENCE_RE.sub("", text))
+
+
+def slugify(heading):
+    """GitHub-style heading -> anchor slug."""
+    slug = re.sub(r"[`*_~]", "", heading.strip().lower())
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path):
+    with open(path, encoding="utf-8") as f:
+        text = FENCE_RE.sub("", f.read())
+    slugs = set()
+    counts = {}
+    for heading in HEADING_RE.findall(text):
+        slug = slugify(heading)
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def collect(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _, names in os.walk(p):
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".md"))
+        else:
+            files.append(p)
+    return files
+
+
+def check_file(md, errors):
+    with open(md, encoding="utf-8") as f:
+        text = strip_code(f.read())
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if not path_part and not anchor:
+            errors.append(f"{md}: empty link target")
+            continue
+        resolved = md if not path_part else os.path.normpath(
+            os.path.join(os.path.dirname(md), path_part))
+        if not os.path.exists(resolved):
+            errors.append(f"{md}: broken link '{target}' "
+                          f"({resolved} does not exist)")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if slugify(anchor) not in heading_slugs(resolved):
+                errors.append(f"{md}: broken anchor '{target}' "
+                              f"(no heading '#{anchor}' in {resolved})")
+
+
+def main(paths):
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = collect(paths)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    errors = []
+    for md in files:
+        check_file(md, errors)
+    for e in errors:
+        print(f"LINK ERROR: {e}", file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAILED' if errors else 'all links ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

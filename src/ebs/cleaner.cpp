@@ -1,5 +1,6 @@
 #include "ebs/cleaner.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -84,6 +85,22 @@ void Cleaner::run_cycle() {
           run_cycle();
         });
       });
+}
+
+CleanerStats subtract(const CleanerStats& a, const CleanerStats& b) {
+  CleanerStats d;
+  d.segments_cleaned = a.segments_cleaned - b.segments_cleaned;
+  d.pages_relocated = a.pages_relocated - b.pages_relocated;
+  d.bytes_processed = a.bytes_processed - b.bytes_processed;
+  d.tenant_segments.resize(a.tenant_segments.size());
+  d.tenant_pages.resize(a.tenant_pages.size());
+  for (std::size_t i = 0; i < a.tenant_segments.size(); ++i) {
+    const auto vol = static_cast<std::uint32_t>(i);
+    d.tenant_segments[i] =
+        a.tenant_segments[i] - b.tenant_segments_cleaned(vol);
+    d.tenant_pages[i] = a.tenant_pages[i] - b.tenant_pages_relocated(vol);
+  }
+  return d;
 }
 
 }  // namespace uc::ebs

@@ -50,6 +50,9 @@ struct CleanerStats {
   }
 };
 
+/// Component-wise `a - b` for measurement windows (mirrors `net::subtract`).
+CleanerStats subtract(const CleanerStats& a, const CleanerStats& b);
+
 class Cleaner {
  public:
   /// `logs` is the cluster's registry of chunk logs across *all* attached

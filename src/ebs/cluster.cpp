@@ -118,7 +118,8 @@ VolumeId StorageCluster::attach_volume_internal(std::uint64_t volume_bytes,
 
 void StorageCluster::write(VolumeId vol, ByteOffset offset,
                            std::uint32_t bytes, WriteStamp first_stamp,
-                           std::function<void()> done) {
+                           std::function<void()> done,
+                           sched::IoClass io_class) {
   Volume& v = volume(vol);
   UC_ASSERT(v.map.offset_in_chunk(offset) + bytes <= v.map.chunk_bytes(),
             "write fragment crosses a chunk boundary");
@@ -132,6 +133,7 @@ void StorageCluster::write(VolumeId vol, ByteOffset offset,
   op.pages = bytes / kLogicalPageBytes;
   op.first_stamp = first_stamp;
   op.bytes = bytes;
+  op.io_class = io_class;
   op.done = std::move(done);
   append_queue_.push_back(std::move(op));
   pump_appends();
@@ -190,7 +192,7 @@ void StorageCluster::issue_write_io(PendingWrite& op) {
     // Allocation-free fast path: FIFO grants are synchronous, so the
     // original horizon arithmetic applies verbatim (tagged, so per-class
     // and per-tenant accounting still accrues).
-    const sched::SchedTag tag{op.vol, sched::IoClass::kFgWrite, op.bytes};
+    const sched::SchedTag tag{op.vol, op.io_class, op.bytes};
     SimTime slowest = 0;
     for (const int node : replicas) {
       SimTime t = fabric_.to_node(sim_.now(), node, op.bytes, tag);
@@ -213,7 +215,7 @@ void StorageCluster::issue_write_io(PendingWrite& op) {
   auto join = std::make_shared<Join>();
   join->remaining = static_cast<int>(replicas.size());
   join->done = std::move(op.done);
-  const sched::SchedTag tag{op.vol, sched::IoClass::kFgWrite, op.bytes};
+  const sched::SchedTag tag{op.vol, op.io_class, op.bytes};
   const std::uint32_t bytes = op.bytes;
   for (const int node : replicas) {
     fabric_.to_node(
@@ -239,7 +241,8 @@ void StorageCluster::issue_write_io(PendingWrite& op) {
 // ---------------------------------------------------------------- reads --
 
 void StorageCluster::read(VolumeId vol, ByteOffset offset, std::uint32_t bytes,
-                          std::function<void()> done) {
+                          std::function<void()> done,
+                          sched::IoClass io_class) {
   Volume& v = volume(vol);
   UC_ASSERT(v.map.offset_in_chunk(offset) + bytes <= v.map.chunk_bytes(),
             "read fragment crosses a chunk boundary");
@@ -256,7 +259,7 @@ void StorageCluster::read(VolumeId vol, ByteOffset offset, std::uint32_t bytes,
   // state live where the reads go, and load still spreads because chunk
   // primaries are distributed across the cluster.
   const int node = v.map.replicas(chunk)[0];
-  const sched::SchedTag tag{vol, sched::IoClass::kFgRead, bytes};
+  const sched::SchedTag tag{vol, io_class, bytes};
 
   if (cfg_.sched.policy == sched::Policy::kFifo) {
     // Allocation-free fast path: FIFO grants are synchronous, so the
@@ -518,6 +521,29 @@ WriteStamp StorageCluster::page_stamp(VolumeId vol, ByteOffset offset) const {
   const ChunkId chunk = v.map.chunk_of(offset);
   return v.logs[chunk].page_stamp(static_cast<std::uint32_t>(
       v.map.offset_in_chunk(offset) / kLogicalPageBytes));
+}
+
+ClusterStats subtract(const ClusterStats& a, const ClusterStats& b) {
+  ClusterStats d;
+  d.writes = a.writes - b.writes;
+  d.written_pages = a.written_pages - b.written_pages;
+  d.reads = a.reads - b.reads;
+  d.read_pages = a.read_pages - b.read_pages;
+  d.cache_hit_pages = a.cache_hit_pages - b.cache_hit_pages;
+  d.media_read_pages = a.media_read_pages - b.media_read_pages;
+  d.unwritten_read_pages = a.unwritten_read_pages - b.unwritten_read_pages;
+  d.readahead_fetches = a.readahead_fetches - b.readahead_fetches;
+  d.trims = a.trims - b.trims;
+  d.trimmed_pages = a.trimmed_pages - b.trimmed_pages;
+  d.stalled_writes = a.stalled_writes - b.stalled_writes;
+  d.append_stall_ns = a.append_stall_ns - b.append_stall_ns;
+  return d;
+}
+
+std::uint64_t StorageCluster::attached_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& v : volumes_) total += v->bytes;
+  return total;
 }
 
 std::uint64_t StorageCluster::live_pages(VolumeId vol) const {

@@ -105,6 +105,9 @@ struct ClusterStats {
   SimTime append_stall_ns = 0;
 };
 
+/// Component-wise `a - b` for measurement windows (mirrors `net::subtract`).
+ClusterStats subtract(const ClusterStats& a, const ClusterStats& b);
+
 class StorageCluster {
  public:
   /// Multi-volume cluster: starts with only the shared spare pool (plus the
@@ -124,13 +127,20 @@ class StorageCluster {
 
   /// Replicated append of a write fragment (must lie within one chunk).
   /// Pages get stamps `first_stamp + i`.  Completes on the slowest replica;
-  /// stalls first if the segment pool is exhausted.
+  /// stalls first if the segment pool is exhausted.  `io_class` is the
+  /// traffic class the fragment is tagged with on every shared pipe —
+  /// foreground writes by default; `uc::placement` re-tags migration copy
+  /// traffic `kMigration` so it competes under the cluster policy instead
+  /// of impersonating the tenant's foreground stream.
   void write(VolumeId vol, ByteOffset offset, std::uint32_t bytes,
-             WriteStamp first_stamp, std::function<void()> done);
+             WriteStamp first_stamp, std::function<void()> done,
+             sched::IoClass io_class = sched::IoClass::kFgWrite);
 
-  /// Reads a fragment (single chunk) from one replica.
+  /// Reads a fragment (single chunk) from one replica.  See `write` for the
+  /// `io_class` override.
   void read(VolumeId vol, ByteOffset offset, std::uint32_t bytes,
-            std::function<void()> done);
+            std::function<void()> done,
+            sched::IoClass io_class = sched::IoClass::kFgRead);
 
   /// Drops the pages, leaving garbage for the cleaner.
   void trim(VolumeId vol, ByteOffset offset, std::uint32_t bytes);
@@ -163,6 +173,21 @@ class StorageCluster {
   }
   std::uint64_t volume_bytes(VolumeId vol) const { return volume(vol).bytes; }
   std::uint64_t chunk_bytes() const { return cfg_.chunk_bytes; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  // --- capacity accessors (placement-layer enumeration) ---
+  /// Logical bytes across every attached volume.  Note: volumes never
+  /// detach, so after a live migration the (trimmed, dead) source volume
+  /// still counts here — the placement layer therefore tracks load from
+  /// its own tenant→cluster map rather than this total.
+  std::uint64_t attached_bytes() const;
+  /// Free segment-pool headroom in bytes (shared across all volumes).
+  std::uint64_t free_pool_bytes() const {
+    return pool_.free_groups() * cfg_.segment_bytes;
+  }
+  std::uint64_t total_pool_bytes() const {
+    return pool_.total_groups() * cfg_.segment_bytes;
+  }
 
   bool is_written(VolumeId vol, ByteOffset offset) const;
   WriteStamp page_stamp(VolumeId vol, ByteOffset offset) const;
@@ -206,6 +231,7 @@ class StorageCluster {
     std::uint32_t cursor = 0;
     WriteStamp first_stamp = 0;
     std::uint32_t bytes = 0;
+    sched::IoClass io_class = sched::IoClass::kFgWrite;
     std::function<void()> done;
   };
 

@@ -74,12 +74,67 @@ void EssdDevice::complete(const IoRequest& req, SimTime submit_time,
   result.bytes = req.bytes;
   result.submit_time = submit_time;
   result.complete_time = sim_.now();
+  --inflight_;
   done(result);
+  // After `done`: a completion handler may submit again, but while frozen
+  // those park, so reaching zero here really is the drain point.
+  if (inflight_ == 0 && drained_cb_) {
+    auto cb = std::move(drained_cb_);
+    drained_cb_ = nullptr;
+    cb();
+  }
+}
+
+void EssdDevice::on_drained(std::function<void()> cb) {
+  UC_ASSERT(!drained_cb_, "a drain callback is already pending");
+  if (inflight_ == 0) {
+    cb();
+    return;
+  }
+  drained_cb_ = std::move(cb);
+}
+
+void EssdDevice::freeze() {
+  UC_ASSERT(!frozen_, "device already frozen");
+  frozen_ = true;
+}
+
+void EssdDevice::thaw() {
+  UC_ASSERT(frozen_, "device not frozen");
+  frozen_ = false;
+  // Replay in arrival order.  Each request keeps its original submit time,
+  // so the freeze window is real stop-and-copy cost that shows up in the
+  // tenant's latency tail.
+  while (!parked_.empty() && !frozen_) {
+    Parked p = std::move(parked_.front());
+    parked_.pop_front();
+    submit_at(p.req, p.submit_time, std::move(p.done));
+  }
+}
+
+void EssdDevice::retarget(ebs::StorageCluster& cluster, ebs::VolumeId volume) {
+  UC_ASSERT(frozen_, "cutover requires a frozen device");
+  UC_ASSERT(cfg_.cluster.chunk_bytes == cluster.chunk_bytes(),
+            "target cluster chunk size differs from the device config");
+  UC_ASSERT(volume < cluster.volume_count() &&
+                cluster.volume_bytes(volume) == cfg_.capacity_bytes,
+            "target volume not attached with this device's capacity");
+  cluster_ = &cluster;
+  volume_ = volume;
 }
 
 void EssdDevice::submit(const IoRequest& req, CompletionFn done) {
   UC_ASSERT(validate_request(info_, req).is_ok(), "invalid I/O request");
-  const SimTime submit_time = sim_.now();
+  if (frozen_) {
+    parked_.push_back(Parked{req, sim_.now(), std::move(done)});
+    return;
+  }
+  submit_at(req, sim_.now(), std::move(done));
+}
+
+void EssdDevice::submit_at(const IoRequest& req, SimTime submit_time,
+                           CompletionFn done) {
+  ++inflight_;
 
   switch (req.op) {
     case IoOp::kRead:

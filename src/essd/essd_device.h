@@ -10,6 +10,7 @@
 /// differently it behaves.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 
@@ -54,6 +55,26 @@ class EssdDevice : public BlockDevice {
   ebs::StorageCluster& cluster() { return *cluster_; }
   ebs::VolumeId volume() const { return volume_; }
 
+  // --- live-migration hooks (`uc::placement`) ---
+  /// Freezes the device: new submissions park inside the device instead of
+  /// entering the QoS gate.  This is the stop-and-copy window of a live
+  /// migration — I/O already admitted keeps flowing to the old backend and
+  /// completes there.
+  void freeze();
+  /// Replays parked submissions in arrival order and resumes service.
+  void thaw();
+  bool frozen() const { return frozen_; }
+  /// Atomic cutover: serve `volume` (already attached, same capacity, fully
+  /// copied) on `cluster` from now on.  Only legal while frozen, so no
+  /// submission can straddle the switch.
+  void retarget(ebs::StorageCluster& cluster, ebs::VolumeId volume);
+  /// Fires `cb` once no I/O is in flight past `submit()` (immediately if
+  /// already drained).  With `freeze()` this bounds the stop-and-copy
+  /// window: freeze, wait out the in-flight tail, copy the last dirty
+  /// pages, cut over.
+  void on_drained(std::function<void()> cb);
+  int inflight() const { return inflight_; }
+
  private:
   /// Splits [offset, offset+bytes) into chunk-aligned fragments and invokes
   /// `fn(frag_offset, frag_bytes)` for each; returns the fragment count.
@@ -61,6 +82,9 @@ class EssdDevice : public BlockDevice {
                         const std::function<void(ByteOffset, std::uint32_t)>& fn);
   void complete(const IoRequest& req, SimTime submit_time,
                 const CompletionFn& done);
+  /// The real data path; `submit()` forwards here (or parks while frozen,
+  /// preserving the original submit time for the latency clock).
+  void submit_at(const IoRequest& req, SimTime submit_time, CompletionFn done);
 
   EssdDevice(sim::Simulator& sim, const EssdConfig& cfg,
              ebs::StorageCluster* shared, ebs::VolumeId volume);
@@ -78,6 +102,15 @@ class EssdDevice : public BlockDevice {
   ebs::VolumeId volume_ = 0;
   EssdIoStats io_stats_;
   WriteStamp stamp_counter_ = 0;
+  struct Parked {
+    IoRequest req;
+    SimTime submit_time = 0;
+    CompletionFn done;
+  };
+  bool frozen_ = false;
+  int inflight_ = 0;
+  std::deque<Parked> parked_;
+  std::function<void()> drained_cb_;
 };
 
 }  // namespace uc::essd

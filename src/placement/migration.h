@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file migration.h
+/// Live volume migration between storage clusters.
+///
+/// Classic pre-copy migration, adapted to the log-structured cluster: copy
+/// every written page of the source volume into an already-attached target
+/// volume (preserving write stamps, which are the simulator's notion of
+/// data), re-diff and copy what the tenant dirtied meanwhile, and once a
+/// pass shrinks below the stop-and-copy threshold, freeze the tenant's
+/// device, drain its in-flight I/O, copy the last dirty pages, and cut the
+/// device over atomically.  All copy traffic is tagged
+/// `sched::IoClass::kMigration`, so it rides the same NIC pipes and node
+/// pipelines as everyone else and competes under whatever policy the
+/// clusters run — FIFO interleaves it, WFQ charges it to the migrating
+/// tenant's weight, and strict priority demotes it below every other class.
+///
+/// Known modelling simplification: writes that are stalled in the *source
+/// cluster's* append queue (segment-pool exhaustion) when the final pass
+/// diffs are not chased.  Migrating away from a pool-starved cluster is
+/// exactly when you would not trust a live copy either.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+#include "ebs/cluster.h"
+#include "essd/essd_device.h"
+#include "sim/simulator.h"
+
+namespace uc::placement {
+
+struct MigrationConfig {
+  /// Largest contiguous fragment a single copy read/write moves.
+  std::uint32_t copy_bytes = 256 * 1024;
+  /// A pre-copy pass that moved no more than this many pages makes the next
+  /// pass the frozen stop-and-copy pass.
+  std::uint32_t freeze_threshold_pages = 2048;
+  /// Hard bound on pre-copy passes: a tenant dirtying faster than the copy
+  /// stream converges would otherwise never cut over.
+  int max_precopy_passes = 8;
+  /// Trim the source volume after cutover so the cleaner reclaims its
+  /// segments (the provider deleting the stale replica set).
+  bool release_source = true;
+};
+
+struct MigrationStats {
+  std::uint64_t pages_copied = 0;
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t pages_trimmed = 0;  ///< source trims mirrored to the target
+  int passes = 0;                   ///< pre-copy passes + the frozen pass
+  SimTime started = 0;
+  SimTime cutover = 0;    ///< 0 until the migration finished
+  SimTime frozen_ns = 0;  ///< stop-and-copy window (freeze -> thaw)
+};
+
+/// Migrates one tenant volume from `src` to an already-attached,
+/// equal-capacity volume on `dst`, then retargets `device` to it.  The
+/// tenant keeps running against `device` the whole time; only the final
+/// stop-and-copy window parks its submissions.  `done` fires right after
+/// the cutover (the device is already thawed).
+class VolumeMigrator {
+ public:
+  VolumeMigrator(sim::Simulator& sim, essd::EssdDevice& device,
+                 ebs::StorageCluster& src, ebs::VolumeId src_vol,
+                 ebs::StorageCluster& dst, ebs::VolumeId dst_vol,
+                 const MigrationConfig& cfg, std::function<void()> done);
+
+  void start();
+  bool finished() const { return finished_; }
+  const MigrationStats& stats() const { return stats_; }
+
+ private:
+  /// Scans forward from `offset` for the next dirty run, copies it, and
+  /// re-enters itself from the run's end; finishes the pass at capacity.
+  void scan_from(ByteOffset offset, bool frozen_pass);
+  void finish_pass(bool frozen_pass);
+  void enter_stop_and_copy();
+  void cutover();
+  void release_source();
+
+  sim::Simulator& sim_;
+  essd::EssdDevice& device_;
+  ebs::StorageCluster& src_;
+  ebs::VolumeId src_vol_;
+  ebs::StorageCluster& dst_;
+  ebs::VolumeId dst_vol_;
+  MigrationConfig cfg_;
+  std::function<void()> done_;
+  MigrationStats stats_;
+  std::uint64_t capacity_bytes_ = 0;
+  std::uint64_t pass_copied_pages_ = 0;
+  SimTime freeze_at_ = 0;
+  bool finished_ = false;
+  bool started_ = false;
+};
+
+}  // namespace uc::placement

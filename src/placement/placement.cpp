@@ -1,0 +1,315 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace uc::placement {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kSpread:
+      return "spread";
+    case Policy::kPack:
+      return "pack";
+    case Policy::kLeastLoadedBytes:
+      return "least-loaded";
+    case Policy::kLeastLoadedWeight:
+      return "least-weight";
+  }
+  return "unknown";
+}
+
+bool parse_policy(const std::string& text, Policy* out) {
+  if (text == "spread") {
+    *out = Policy::kSpread;
+  } else if (text == "pack") {
+    *out = Policy::kPack;
+  } else if (text == "least-loaded") {
+    *out = Policy::kLeastLoadedBytes;
+  } else if (text == "least-weight") {
+    *out = Policy::kLeastLoadedWeight;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<Policy> all_policies() {
+  return {Policy::kSpread, Policy::kPack, Policy::kLeastLoadedBytes,
+          Policy::kLeastLoadedWeight};
+}
+
+std::vector<int> plan_placement(
+    const PlacementConfig& cfg,
+    const std::vector<tenant::TenantSpec>& tenants) {
+  UC_ASSERT(cfg.clusters >= 1, "placement needs at least one cluster");
+  const auto k = static_cast<std::size_t>(cfg.clusters);
+  std::vector<std::uint64_t> bytes(k, 0);
+  std::vector<double> weight(k, 0.0);
+  std::vector<int> out;
+  out.reserve(tenants.size());
+
+  const auto least_bytes = [&]() -> int {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < k; ++c) {
+      if (bytes[c] < bytes[best]) best = c;
+    }
+    return static_cast<int>(best);
+  };
+
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const tenant::TenantSpec& t = tenants[i];
+    int pick = 0;
+    switch (cfg.policy) {
+      case Policy::kSpread:
+        pick = static_cast<int>(i % k);
+        break;
+      case Policy::kPack: {
+        pick = -1;
+        for (std::size_t c = 0; c < k; ++c) {
+          if (cfg.pack_limit_bytes == 0 ||
+              bytes[c] + t.capacity_bytes <= cfg.pack_limit_bytes) {
+            pick = static_cast<int>(c);
+            break;
+          }
+        }
+        if (pick < 0) pick = least_bytes();  // nothing fits: spill evenly
+        break;
+      }
+      case Policy::kLeastLoadedBytes:
+        pick = least_bytes();
+        break;
+      case Policy::kLeastLoadedWeight: {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < k; ++c) {
+          if (weight[c] < weight[best]) best = c;
+        }
+        pick = static_cast<int>(best);
+        break;
+      }
+    }
+    bytes[static_cast<std::size_t>(pick)] += t.capacity_bytes;
+    weight[static_cast<std::size_t>(pick)] += t.weight;
+    out.push_back(pick);
+  }
+  return out;
+}
+
+essd::EssdConfig MultiClusterHost::cluster_base(int c) const {
+  essd::EssdConfig b = base_;
+  const auto stride =
+      kClusterSeedStride * static_cast<std::uint64_t>(c);
+  b.seed += stride;
+  b.cluster.seed += stride;
+  b.cluster.sched.weights = cluster_weights_[static_cast<std::size_t>(c)];
+  return b;
+}
+
+MultiClusterHost::MultiClusterHost(sim::Simulator& sim,
+                                   const essd::EssdConfig& base,
+                                   std::vector<tenant::TenantSpec> tenants,
+                                   const PlacementConfig& cfg)
+    : sim_(sim), base_(base), cfg_(cfg), tenants_(std::move(tenants)) {
+  UC_ASSERT(!tenants_.empty(), "host needs at least one tenant");
+  initial_cluster_ = plan_placement(cfg_, tenants_);
+  cluster_of_ = initial_cluster_;
+
+  // Fold each cluster's WFQ weights in local attach order (exactly the
+  // SharedClusterHost fold when there is one cluster).
+  cluster_weights_.assign(static_cast<std::size_t>(cfg_.clusters), {});
+  local_index_.resize(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    auto& fold = cluster_weights_[static_cast<std::size_t>(cluster_of_[i])];
+    local_index_[i] = fold.size();
+    fold.push_back(tenants_[i].weight);
+  }
+
+  clusters_.reserve(static_cast<std::size_t>(cfg_.clusters));
+  for (int c = 0; c < cfg_.clusters; ++c) {
+    clusters_.push_back(
+        std::make_unique<ebs::StorageCluster>(sim_, cluster_base(c).cluster));
+  }
+
+  volume_of_.resize(tenants_.size());
+  devices_.reserve(tenants_.size());
+  runners_.reserve(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const tenant::TenantSpec& t = tenants_[i];
+    const int c = cluster_of_[i];
+    auto& cluster = *clusters_[static_cast<std::size_t>(c)];
+    volume_of_[i] = cluster.attach_volume(t.capacity_bytes);
+    devices_.push_back(std::make_unique<essd::EssdDevice>(
+        sim_,
+        tenant::SharedClusterHost::tenant_config(cluster_base(c), t,
+                                                 local_index_[i]),
+        cluster, volume_of_[i]));
+    runners_.push_back(
+        std::make_unique<wl::JobRunner>(sim_, *devices_.back(), t.job));
+  }
+}
+
+bool MultiClusterHost::all_runners_finished() const {
+  for (const auto& r : runners_) {
+    if (!r->finished()) return false;
+  }
+  return true;
+}
+
+bool MultiClusterHost::maybe_rebalance() {
+  if (migrator_ != nullptr && !migrator_->finished()) return false;
+  const auto k = static_cast<std::size_t>(cfg_.clusters);
+  std::vector<std::uint64_t> bytes(k, 0);
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    bytes[static_cast<std::size_t>(cluster_of_[i])] +=
+        tenants_[i].capacity_bytes;
+  }
+  std::uint64_t total = 0;
+  std::size_t busiest = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    total += bytes[c];
+    if (bytes[c] > bytes[busiest]) busiest = c;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(k);
+  if (static_cast<double>(bytes[busiest]) <= cfg_.rebalance_watermark * mean) {
+    return false;
+  }
+  // Largest still-running volume on the busiest cluster; moving a finished
+  // tenant frees no contended bandwidth.
+  std::size_t pick = tenants_.size();
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (static_cast<std::size_t>(cluster_of_[i]) != busiest) continue;
+    if (runners_[i]->finished()) continue;
+    if (pick == tenants_.size() ||
+        tenants_[i].capacity_bytes > tenants_[pick].capacity_bytes) {
+      pick = i;
+    }
+  }
+  if (pick == tenants_.size()) return false;
+  std::size_t target = 0;
+  for (std::size_t c = 1; c < k; ++c) {
+    if (bytes[c] < bytes[target]) target = c;
+  }
+  if (target == busiest) return false;
+  // Only move when it strictly lowers the maximum load — the oscillation
+  // guard that keeps repeated checks from bouncing a volume back and forth.
+  const std::uint64_t cap = tenants_[pick].capacity_bytes;
+  if (std::max(bytes[busiest] - cap, bytes[target] + cap) >= bytes[busiest]) {
+    return false;
+  }
+  start_migration(pick, static_cast<int>(target));
+  return true;
+}
+
+void MultiClusterHost::start_migration(std::size_t tenant, int to_cluster) {
+  const int from = cluster_of_[tenant];
+  auto& src = *clusters_[static_cast<std::size_t>(from)];
+  auto& dst = *clusters_[static_cast<std::size_t>(to_cluster)];
+  // Known WFQ limitation (ROADMAP): the destination cluster's weight fold
+  // was fixed at construction, so the migrated-in volume's new VolumeId
+  // falls back to `default_weight` there — a weighted tenant keeps its
+  // share on the source but not on its new home.
+  const ebs::VolumeId dst_vol =
+      dst.attach_volume(tenants_[tenant].capacity_bytes);
+  records_.push_back(MigrationRecord{tenant, from, to_cluster, {}});
+  const std::size_t record = records_.size() - 1;
+  migrator_ = std::make_unique<VolumeMigrator>(
+      sim_, *devices_[tenant], src, volume_of_[tenant], dst, dst_vol,
+      cfg_.migration, [this, tenant, to_cluster, dst_vol, record] {
+        cluster_of_[tenant] = to_cluster;
+        volume_of_[tenant] = dst_vol;
+        records_[record].stats = migrator_->stats();
+      });
+  migrator_->start();
+}
+
+void MultiClusterHost::schedule_rebalance_check() {
+  sim_.schedule_after(cfg_.rebalance_interval, [this] {
+    if (all_runners_finished()) return;  // let the simulator drain
+    maybe_rebalance();
+    schedule_rebalance_check();
+  });
+}
+
+PlacementResult MultiClusterHost::run() {
+  UC_ASSERT(!ran_, "host already ran");
+  ran_ = true;
+  tenant::run_preconditions(
+      sim_, tenants_,
+      [this](std::size_t i) -> BlockDevice& { return *devices_[i]; });
+
+  PlacementResult result;
+  result.measure_start = sim_.now();
+  std::vector<ebs::ClusterStats> cluster_before;
+  std::vector<ebs::CleanerStats> cleaner_before;
+  for (const auto& c : clusters_) {
+    cluster_before.push_back(c->stats());
+    cleaner_before.push_back(c->cleaner().stats());
+  }
+  for (auto& runner : runners_) runner->start();
+  if (cfg_.clusters > 1 && cfg_.rebalance_watermark > 1.0) {
+    schedule_rebalance_check();
+  }
+  sim_.run();
+
+  result.stats.reserve(runners_.size());
+  for (auto& runner : runners_) {
+    UC_ASSERT(runner->finished(), "simulator drained but a tenant job hung");
+    result.stats.push_back(runner->stats());
+    result.makespan = std::max(result.makespan, runner->stats().last_complete);
+  }
+  result.initial_cluster = initial_cluster_;
+  result.final_cluster = cluster_of_;
+  result.migrations = records_;
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    result.cluster.push_back(
+        ebs::subtract(clusters_[c]->stats(), cluster_before[c]));
+    result.cleaner.push_back(
+        ebs::subtract(clusters_[c]->cleaner().stats(), cleaner_before[c]));
+  }
+  return result;
+}
+
+wl::JobStats MultiClusterHost::run_solo(std::size_t i) const {
+  return tenant::SharedClusterHost::run_solo(cluster_base(initial_cluster_[i]),
+                                             tenants_[i], local_index_[i]);
+}
+
+PlacementScenarioResult run_placement_scenario(
+    tenant::Scenario s, const PlacementScenarioOptions& opt) {
+  tenant::ScenarioSetup setup = tenant::build_scenario(s, opt.base);
+  PlacementScenarioResult result;
+  result.scenario = s;
+  result.tenants = setup.tenants;
+
+  sim::Simulator sim;
+  MultiClusterHost host(sim, setup.base, setup.tenants, opt.placement);
+  PlacementResult run = host.run();
+  for (int c = 0; c < host.cluster_count(); ++c) {
+    host.cluster(c).check_invariants();
+  }
+  result.makespan = run.makespan - run.measure_start;
+  result.initial_cluster = std::move(run.initial_cluster);
+  result.final_cluster = std::move(run.final_cluster);
+  result.migrations = std::move(run.migrations);
+  result.cluster = std::move(run.cluster);
+  result.cleaner = std::move(run.cleaner);
+  result.colocated = std::move(run.stats);
+
+  if (opt.base.solo_baselines) {
+    result.solo.reserve(setup.tenants.size());
+    for (std::size_t i = 0; i < setup.tenants.size(); ++i) {
+      result.solo.push_back(host.run_solo(i));
+    }
+  }
+  result.report = tenant::build_fairness_report(setup.tenants,
+                                                result.colocated, result.solo);
+  result.per_cluster = tenant::build_cluster_reports(
+      setup.tenants, result.colocated, result.solo, result.final_cluster,
+      opt.placement.clusters);
+  return result;
+}
+
+}  // namespace uc::placement

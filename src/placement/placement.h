@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file placement.h
+/// Cross-cluster placement: several `StorageCluster`s behind one host, a
+/// pluggable policy deciding which cluster each tenant volume lands on, and
+/// watermark-triggered live migration to repair imbalance.
+///
+/// The paper measures one volume on one cluster; a provider's real degree
+/// of freedom is *where volumes land*.  Interference follows placement:
+/// spreading tenants buys isolation at the cost of per-cluster utilisation,
+/// packing maximises utilisation and concentrates noisy neighbours, and
+/// migration converts a bad initial decision into copy traffic that itself
+/// competes on the shared pipes (`sched::IoClass::kMigration`).
+///
+/// `MultiClusterHost` with one cluster reproduces
+/// `tenant::SharedClusterHost` exactly (same seeds, same attach order, same
+/// weight fold), so every single-cluster result is unchanged.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "ebs/cleaner.h"
+#include "ebs/cluster.h"
+#include "essd/essd_config.h"
+#include "essd/essd_device.h"
+#include "placement/migration.h"
+#include "tenant/fairness.h"
+#include "tenant/scenarios.h"
+#include "tenant/tenant.h"
+#include "workload/runner.h"
+
+namespace uc::placement {
+
+/// Which cluster a new volume attaches to.
+enum class Policy {
+  kSpread,            ///< round-robin across clusters
+  kPack,              ///< first cluster with room (`pack_limit_bytes`)
+  kLeastLoadedBytes,  ///< cluster with the fewest attached bytes
+  kLeastLoadedWeight, ///< cluster with the smallest summed tenant weight
+};
+
+const char* policy_name(Policy p);
+/// Parses "spread" / "pack" / "least-loaded" / "least-weight".
+bool parse_policy(const std::string& text, Policy* out);
+std::vector<Policy> all_policies();
+
+/// Per-cluster seed stride: cluster `c` of a multi-cluster host derives its
+/// placement and jitter streams from `seed + c * stride`, so cluster 0
+/// reproduces the single-cluster host exactly.
+inline constexpr std::uint64_t kClusterSeedStride = 0x632be59bd9b4e019ull;
+
+struct PlacementConfig {
+  int clusters = 1;
+  Policy policy = Policy::kSpread;
+
+  /// Pack: a cluster accepts volumes until attaching the next one would
+  /// push its attached bytes past this; 0 = unbounded (everything lands on
+  /// cluster 0).  When nothing fits anywhere, least-loaded-by-bytes wins.
+  std::uint64_t pack_limit_bytes = 0;
+
+  /// Live rebalance: when one cluster's attached bytes exceed
+  /// `rebalance_watermark x` the cross-cluster mean, the host migrates its
+  /// largest volume to the least-loaded cluster (if that strictly lowers
+  /// the maximum).  <= 1 disables rebalancing.
+  double rebalance_watermark = 0.0;
+  SimTime rebalance_interval = 50 * units::kMs;
+
+  MigrationConfig migration;
+};
+
+/// Pure placement planning (exposed for tests): cluster index per tenant,
+/// in spec order.
+std::vector<int> plan_placement(const PlacementConfig& cfg,
+                                const std::vector<tenant::TenantSpec>& tenants);
+
+struct MigrationRecord {
+  std::size_t tenant = 0;  ///< spec index
+  int from_cluster = 0;
+  int to_cluster = 0;
+  MigrationStats stats;
+};
+
+/// Outcome of a multi-cluster colocated run.
+struct PlacementResult {
+  std::vector<wl::JobStats> stats;  ///< per tenant, spec order
+  std::vector<int> initial_cluster;
+  std::vector<int> final_cluster;
+  std::vector<MigrationRecord> migrations;
+  SimTime makespan = 0;
+  SimTime measure_start = 0;
+  /// Per-cluster activity within the measured window.
+  std::vector<ebs::ClusterStats> cluster;
+  std::vector<ebs::CleanerStats> cleaner;
+};
+
+/// N tenants over K clusters: one simulator, one `EssdDevice` + `JobRunner`
+/// per tenant, per-cluster WFQ weight folds, and optional watermark-driven
+/// live migration while the tenants run.
+class MultiClusterHost {
+ public:
+  MultiClusterHost(sim::Simulator& sim, const essd::EssdConfig& base,
+                   std::vector<tenant::TenantSpec> tenants,
+                   const PlacementConfig& cfg);
+
+  PlacementResult run();
+
+  std::size_t tenant_count() const { return tenants_.size(); }
+  const tenant::TenantSpec& spec(std::size_t i) const { return tenants_[i]; }
+  int cluster_count() const { return static_cast<int>(clusters_.size()); }
+  const ebs::StorageCluster& cluster(int c) const {
+    return *clusters_[static_cast<std::size_t>(c)];
+  }
+  int cluster_of(std::size_t tenant) const { return cluster_of_[tenant]; }
+  const essd::EssdDevice& device(std::size_t i) const { return *devices_[i]; }
+  const std::vector<MigrationRecord>& migrations() const { return records_; }
+
+  /// One watermark check right now; starts (at most) one migration.
+  /// Returns whether it did.  The periodic timer calls this between
+  /// completed migrations.
+  bool maybe_rebalance();
+
+  /// Solo baseline for tenant `i`: alone on a private cluster derived from
+  /// the same per-cluster base profile and local attach index it had in the
+  /// colocated run, so only colocation differs.
+  wl::JobStats run_solo(std::size_t i) const;
+
+ private:
+  /// `base` with cluster `c`'s seed offsets and weight fold applied.
+  essd::EssdConfig cluster_base(int c) const;
+  void start_migration(std::size_t tenant, int to_cluster);
+  void schedule_rebalance_check();
+  bool all_runners_finished() const;
+
+  sim::Simulator& sim_;
+  essd::EssdConfig base_;
+  PlacementConfig cfg_;
+  std::vector<tenant::TenantSpec> tenants_;
+  std::vector<int> initial_cluster_;
+  std::vector<int> cluster_of_;
+  std::vector<ebs::VolumeId> volume_of_;
+  std::vector<std::size_t> local_index_;  ///< attach index within the cluster
+  std::vector<std::vector<double>> cluster_weights_;  ///< fold per cluster
+  std::vector<std::unique_ptr<ebs::StorageCluster>> clusters_;
+  std::vector<std::unique_ptr<essd::EssdDevice>> devices_;
+  std::vector<std::unique_ptr<wl::JobRunner>> runners_;
+  std::unique_ptr<VolumeMigrator> migrator_;  ///< at most one at a time
+  std::vector<MigrationRecord> records_;
+  bool ran_ = false;
+};
+
+/// `tenant::run_scenario`, but over a multi-cluster topology: same tenant
+/// mixes, same measured window, plus per-cluster fairness slices and the
+/// migration log.
+struct PlacementScenarioOptions {
+  tenant::ScenarioOptions base;
+  PlacementConfig placement;
+};
+
+struct PlacementScenarioResult {
+  tenant::Scenario scenario = tenant::Scenario::kFairShare;
+  std::vector<tenant::TenantSpec> tenants;
+  std::vector<wl::JobStats> colocated;
+  std::vector<wl::JobStats> solo;  ///< empty when baselines disabled
+  tenant::FairnessReport report;   ///< across all tenants
+  /// Fairness within each cluster (tenants grouped by *final* placement;
+  /// a migrated tenant's stats span both homes and are attributed to the
+  /// destination).
+  std::vector<tenant::FairnessReport> per_cluster;
+  std::vector<int> initial_cluster;
+  std::vector<int> final_cluster;
+  std::vector<MigrationRecord> migrations;
+  std::vector<ebs::ClusterStats> cluster;
+  std::vector<ebs::CleanerStats> cleaner;
+  SimTime makespan = 0;
+};
+
+PlacementScenarioResult run_placement_scenario(
+    tenant::Scenario s, const PlacementScenarioOptions& opt);
+
+}  // namespace uc::placement

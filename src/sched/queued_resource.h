@@ -95,7 +95,7 @@ class QueuedResource {
   std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>> free_at_;
   SimTime busy_until_ = 0;
   SimTime busy_time_ = 0;
-  SimTime class_busy_[kIoClassCount] = {0, 0, 0, 0};
+  SimTime class_busy_[kIoClassCount] = {};
   std::vector<SimTime> tenant_busy_;
   std::size_t depth_peak_ = 0;
   bool pumping_ = false;

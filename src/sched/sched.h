@@ -21,15 +21,22 @@
 namespace uc::sched {
 
 /// Traffic class carried with every tagged reservation.  Foreground classes
-/// are user-visible I/O; cleaner-gc and prefetch are provider background
-/// work that a priority policy demotes.
+/// are user-visible I/O; cleaner-gc, prefetch, and migration are provider
+/// background work that a priority policy demotes.
 enum class IoClass : std::uint8_t {
   kFgRead = 0,
   kFgWrite = 1,
   kCleanerGc = 2,
   kPrefetch = 3,
+  /// Cross-cluster volume migration copy traffic (`uc::placement`).  Lowest
+  /// priority under `kPrio` — a rebalance must never beat foreground I/O or
+  /// the reclaim that keeps the pool alive — and an ordinary per-tenant
+  /// flow under WFQ (source-side copy reads share the migrating tenant's
+  /// weighted flow; the destination volume's flow starts at
+  /// `default_weight` until weights are re-registered, see ROADMAP).
+  kMigration = 4,
 };
-inline constexpr int kIoClassCount = 4;
+inline constexpr int kIoClassCount = 5;
 
 const char* io_class_name(IoClass c);
 

@@ -20,6 +20,8 @@ const char* io_class_name(IoClass c) {
       return "cleaner-gc";
     case IoClass::kPrefetch:
       return "prefetch";
+    case IoClass::kMigration:
+      return "migration";
   }
   return "unknown";
 }
@@ -177,8 +179,8 @@ class PrioScheduler final : public Scheduler {
   }
 
  private:
-  /// fg-read > fg-write > cleaner-gc > prefetch; the enum order is already
-  /// the demotion order.
+  /// fg-read > fg-write > cleaner-gc > prefetch > migration; the enum order
+  /// is already the demotion order.
   static int rank(IoClass c) { return static_cast<int>(c); }
 
   std::optional<Item> take(int r) {

@@ -13,8 +13,9 @@
 ///   item is served when the flow's deficit covers its service duration.
 ///   Small-request tenants stop queueing behind a bulk writer's backlog.
 /// - **PRIO** — strict class priority (fg-read > fg-write > cleaner-gc >
-///   prefetch), FIFO within a class, with a starvation guard that promotes
-///   any head-of-line item that has waited longer than `starvation_ns`.
+///   prefetch > migration), FIFO within a class, with a starvation guard
+///   that promotes any head-of-line item that has waited longer than
+///   `starvation_ns`.
 ///
 /// `peek()` computes (and caches) the selection without consuming it so
 /// admission-controlled queues (the QoS gate) can test the candidate

@@ -63,6 +63,39 @@ FairnessReport build_fairness_report(
   return report;
 }
 
+std::vector<FairnessReport> build_cluster_reports(
+    const std::vector<TenantSpec>& specs,
+    const std::vector<wl::JobStats>& colocated,
+    const std::vector<wl::JobStats>& solo, const std::vector<int>& cluster_of,
+    int clusters) {
+  UC_ASSERT(cluster_of.size() == specs.size(),
+            "one cluster assignment per tenant required");
+  UC_ASSERT(colocated.size() == specs.size(),
+            "one colocated result per tenant required");
+  UC_ASSERT(solo.empty() || solo.size() == specs.size(),
+            "solo baselines must match the tenant list");
+  std::vector<FairnessReport> reports;
+  reports.reserve(static_cast<std::size_t>(clusters));
+  for (int c = 0; c < clusters; ++c) {
+    std::vector<TenantSpec> sub_specs;
+    std::vector<wl::JobStats> sub_colocated;
+    std::vector<wl::JobStats> sub_solo;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (cluster_of[i] != c) continue;
+      sub_specs.push_back(specs[i]);
+      sub_colocated.push_back(colocated[i]);
+      if (!solo.empty()) sub_solo.push_back(solo[i]);
+    }
+    if (sub_specs.empty()) {
+      reports.emplace_back();
+      continue;
+    }
+    reports.push_back(
+        build_fairness_report(sub_specs, sub_colocated, sub_solo));
+  }
+  return reports;
+}
+
 FairnessComparison compare_fairness(const FairnessReport& base,
                                     const FairnessReport& alt) {
   UC_ASSERT(base.tenants.size() == alt.tenants.size(),

@@ -53,6 +53,16 @@ FairnessReport build_fairness_report(const std::vector<TenantSpec>& specs,
                                      const std::vector<wl::JobStats>& colocated,
                                      const std::vector<wl::JobStats>& solo);
 
+/// Per-cluster fairness slices of a multi-cluster run: report `k` covers
+/// the tenants with `cluster_of[i] == k` (spec order preserved within each
+/// slice, solo baselines sliced alongside when present).  Empty clusters
+/// yield empty reports, so the vector always has `clusters` entries.
+std::vector<FairnessReport> build_cluster_reports(
+    const std::vector<TenantSpec>& specs,
+    const std::vector<wl::JobStats>& colocated,
+    const std::vector<wl::JobStats>& solo, const std::vector<int>& cluster_of,
+    int clusters);
+
 /// Per-tenant change of an alternative policy's report against a baseline
 /// (same scenario, same tenants).  Negative p99/interference change =
 /// the alternative improved the tenant's tail.

@@ -50,10 +50,7 @@ std::vector<Scenario> all_scenarios() {
 
 namespace {
 
-struct Built {
-  essd::EssdConfig base;
-  std::vector<TenantSpec> tenants;
-};
+using Built = ScenarioSetup;
 
 // Shared-cluster base: the io2-class mechanism profile with the spare pool
 // reinterpreted as the *cluster-wide* headroom all tenants draw from.
@@ -199,8 +196,8 @@ Built build(Scenario s, const ScenarioOptions& opt) {
 
 }  // namespace
 
-ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt) {
-  Built b = build(s, opt);
+ScenarioSetup build_scenario(Scenario s, const ScenarioOptions& opt) {
+  ScenarioSetup b = build(s, opt);
   // One knob steers every queue: the shared cluster resources and each
   // device's own gate/frontend.  Per-tenant weights come from the specs
   // (the host folds them into cluster.sched by VolumeId).
@@ -209,6 +206,11 @@ ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt) {
   for (std::size_t i = 0; i < opt.weights.size() && i < b.tenants.size(); ++i) {
     b.tenants[i].weight = opt.weights[i];
   }
+  return b;
+}
+
+ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt) {
+  ScenarioSetup b = build_scenario(s, opt);
   ScenarioResult result;
   result.scenario = s;
   result.policy = opt.sched.policy;

@@ -79,6 +79,18 @@ struct ScenarioResult {
   SimTime makespan = 0;  ///< measured-window duration
 };
 
+/// The raw scenario ingredients — the shared-cluster base profile (with the
+/// options' scheduling policy and weight overrides already folded in) and
+/// the tenant mix — before any host is built.  `run_scenario` uses this,
+/// and `placement::run_placement_scenario` reuses the same mixes across
+/// multi-cluster topologies.
+struct ScenarioSetup {
+  essd::EssdConfig base;
+  std::vector<TenantSpec> tenants;
+};
+
+ScenarioSetup build_scenario(Scenario s, const ScenarioOptions& opt);
+
 /// Builds, runs, and analyzes one scenario.
 ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt = {});
 

@@ -70,6 +70,8 @@ wl::JobSpec precondition_spec(const TenantSpec& t) {
   return spec;
 }
 
+}  // namespace
+
 void run_preconditions(sim::Simulator& sim,
                        const std::vector<TenantSpec>& tenants,
                        const std::function<BlockDevice&(std::size_t)>& device) {
@@ -82,43 +84,6 @@ void run_preconditions(sim::Simulator& sim,
   }
   if (!fills.empty()) sim.run();
 }
-
-ebs::ClusterStats subtract(const ebs::ClusterStats& a,
-                           const ebs::ClusterStats& b) {
-  ebs::ClusterStats d;
-  d.writes = a.writes - b.writes;
-  d.written_pages = a.written_pages - b.written_pages;
-  d.reads = a.reads - b.reads;
-  d.read_pages = a.read_pages - b.read_pages;
-  d.cache_hit_pages = a.cache_hit_pages - b.cache_hit_pages;
-  d.media_read_pages = a.media_read_pages - b.media_read_pages;
-  d.unwritten_read_pages = a.unwritten_read_pages - b.unwritten_read_pages;
-  d.readahead_fetches = a.readahead_fetches - b.readahead_fetches;
-  d.trims = a.trims - b.trims;
-  d.trimmed_pages = a.trimmed_pages - b.trimmed_pages;
-  d.stalled_writes = a.stalled_writes - b.stalled_writes;
-  d.append_stall_ns = a.append_stall_ns - b.append_stall_ns;
-  return d;
-}
-
-ebs::CleanerStats subtract(const ebs::CleanerStats& a,
-                           const ebs::CleanerStats& b) {
-  ebs::CleanerStats d;
-  d.segments_cleaned = a.segments_cleaned - b.segments_cleaned;
-  d.pages_relocated = a.pages_relocated - b.pages_relocated;
-  d.bytes_processed = a.bytes_processed - b.bytes_processed;
-  d.tenant_segments.resize(a.tenant_segments.size());
-  d.tenant_pages.resize(a.tenant_pages.size());
-  for (std::size_t i = 0; i < a.tenant_segments.size(); ++i) {
-    d.tenant_segments[i] =
-        a.tenant_segments[i] - b.tenant_segments_cleaned(static_cast<std::uint32_t>(i));
-    d.tenant_pages[i] =
-        a.tenant_pages[i] - b.tenant_pages_relocated(static_cast<std::uint32_t>(i));
-  }
-  return d;
-}
-
-}  // namespace
 
 HostResult SharedClusterHost::run() {
   UC_ASSERT(!ran_, "host already ran");

@@ -11,7 +11,9 @@
 /// per-tenant `EssdDevice` (own QoS gate and frontend) + `JobRunner` per
 /// attached volume, all advancing on one simulator.
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +58,14 @@ struct HostResult {
   ebs::CleanerStats cleaner;
   net::FabricStats fabric;
 };
+
+/// Runs every tenant's precondition fill concurrently (tenant `i`'s device
+/// is resolved via `device(i)`) and drains the simulator.  Shared by
+/// `SharedClusterHost` and `placement::MultiClusterHost` so single- and
+/// multi-cluster runs precondition identically.
+void run_preconditions(sim::Simulator& sim,
+                       const std::vector<TenantSpec>& tenants,
+                       const std::function<BlockDevice&(std::size_t)>& device);
 
 /// Builds the shared cluster from `base.cluster` (so `spare_pool_bytes` is
 /// the *cluster-wide* headroom), attaches one volume per tenant, and runs

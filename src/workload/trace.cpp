@@ -1,11 +1,13 @@
 #include "workload/trace.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -118,6 +120,30 @@ Status save_trace_csv(const std::vector<TraceEvent>& trace,
   return Status::ok();
 }
 
+namespace {
+
+// Strict CSV field parser: a decimal `uint64` followed by `sep` (when
+// non-NUL, which is consumed).  Rejects missing digits, overflow (ERANGE),
+// and a wrong/absent separator, so truncated or corrupted rows fail loudly
+// instead of silently replaying garbage.
+bool parse_field_u64(const char** cursor, char sep, std::uint64_t* out) {
+  const char* s = *cursor;
+  if (*s < '0' || *s > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || errno == ERANGE) return false;
+  if (sep != '\0') {
+    if (*end != sep) return false;
+    ++end;
+  }
+  *out = v;
+  *cursor = end;
+  return true;
+}
+
+}  // namespace
+
 Result<std::vector<TraceEvent>> load_trace_csv(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) {
@@ -126,25 +152,50 @@ Result<std::vector<TraceEvent>> load_trace_csv(const std::string& path) {
   std::vector<TraceEvent> trace;
   char line[256];
   bool first = true;
+  std::uint64_t lineno = 0;
+  const auto bad = [&](const char* what) {
+    std::fclose(f);
+    return Status::invalid_argument(
+        strfmt("%s:%llu: %s", path.c_str(),
+               static_cast<unsigned long long>(lineno), what));
+  };
   while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
     if (first) {  // header
       first = false;
       continue;
     }
-    TraceEvent ev;
-    char op = 'W';
-    unsigned long long arrival = 0;
-    unsigned long long offset = 0;
-    unsigned bytes = 0;
-    if (std::sscanf(line, "%llu,%c,%llu,%u", &arrival, &op, &offset, &bytes) !=
-        4) {
-      std::fclose(f);
-      return Status::invalid_argument(strfmt("bad trace line: %s", line));
+    // Trailing blank line ('\n', or "\r\n" from a CRLF-authored file).
+    if (line[0] == '\n' || line[0] == '\r' || line[0] == '\0') continue;
+    const char* cursor = line;
+    std::uint64_t arrival = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    if (!parse_field_u64(&cursor, ',', &arrival)) {
+      return bad("bad or truncated arrival_ns field");
     }
+    const char op = *cursor;
+    if (op != 'W' && op != 'R') return bad("op must be W or R");
+    ++cursor;
+    if (*cursor != ',') return bad("truncated row after op");
+    ++cursor;
+    if (!parse_field_u64(&cursor, ',', &offset)) {
+      return bad("bad, truncated, or out-of-range offset field");
+    }
+    if (!parse_field_u64(&cursor, '\0', &bytes)) {
+      return bad("bad or out-of-range bytes field");
+    }
+    if (*cursor != '\0' && *cursor != '\n' && *cursor != '\r') {
+      return bad("trailing garbage after bytes");
+    }
+    if (bytes == 0 || bytes > 0xffffffffull) {
+      return bad("bytes must fit a positive uint32");
+    }
+    TraceEvent ev;
     ev.arrival = arrival;
     ev.op = op == 'W' ? IoOp::kWrite : IoOp::kRead;
     ev.offset = offset;
-    ev.bytes = bytes;
+    ev.bytes = static_cast<std::uint32_t>(bytes);
     trace.push_back(ev);
   }
   std::fclose(f);

@@ -106,6 +106,65 @@ TEST(TraceCsv, LoadMissingFileFails) {
   EXPECT_FALSE(load_trace_csv("/nonexistent/trace.csv").is_ok());
 }
 
+// Writes `body` under the CSV header and returns the loader's result.
+Result<std::vector<TraceEvent>> load_rows(const std::string& name,
+                                          const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs("arrival_ns,op,offset,bytes\n", f);
+  std::fputs(body.c_str(), f);
+  std::fclose(f);
+  auto result = load_trace_csv(path);
+  std::remove(path.c_str());
+  return result;
+}
+
+TEST(TraceCsv, TruncatedRowFails) {
+  // Missing the bytes field entirely.
+  EXPECT_FALSE(load_rows("truncated.csv", "1000,W,4096\n").is_ok());
+  // Cut off mid-field (no trailing newline).
+  EXPECT_FALSE(load_rows("cut.csv", "1000,W,").is_ok());
+  // Missing everything after the op.
+  EXPECT_FALSE(load_rows("no_offset.csv", "1000,R\n").is_ok());
+}
+
+TEST(TraceCsv, BadOpFails) {
+  // Unknown op letters must not silently load as reads.
+  EXPECT_FALSE(load_rows("badop.csv", "1000,X,4096,4096\n").is_ok());
+  EXPECT_FALSE(load_rows("lowercase.csv", "1000,w,4096,4096\n").is_ok());
+}
+
+TEST(TraceCsv, OutOfRangeFieldsFail) {
+  // Offset overflowing uint64 must be rejected, not wrapped.
+  EXPECT_FALSE(
+      load_rows("bigoff.csv", "1000,W,99999999999999999999999999,4096\n")
+          .is_ok());
+  // Bytes must fit a positive uint32.
+  EXPECT_FALSE(load_rows("bigbytes.csv", "1000,W,0,4294967296\n").is_ok());
+  EXPECT_FALSE(load_rows("zerobytes.csv", "1000,W,0,0\n").is_ok());
+}
+
+TEST(TraceCsv, ErrorNamesTheLine) {
+  const auto result = load_rows("lineno.csv", "0,W,0,4096\njunk\n");
+  ASSERT_FALSE(result.is_ok());
+  // Row 3 of the file (header + one good row before it).
+  EXPECT_NE(result.status().message().find(":3:"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(TraceCsv, NegativeFieldFails) {
+  EXPECT_FALSE(load_rows("negative.csv", "-5,W,0,4096\n").is_ok());
+}
+
+TEST(TraceCsv, ToleratesCrlfRowsAndTrailingBlankLine) {
+  const auto loaded =
+      load_rows("crlf.csv", "1000,W,4096,4096\r\n2000,R,8192,4096\r\n\r\n");
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().message();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[1].offset, 8192u);
+}
+
 TEST(TraceReplayer, OpenLoopReplaysEverything) {
   sim::Simulator sim;
   ssd::SsdDevice dev(sim, ssd::samsung_970pro_scaled(1 * kGiB));
