@@ -44,7 +44,7 @@ Cell run_one(const contract::DeviceFactory& factory, std::uint32_t io_bytes,
 
 int main(int argc, char** argv) {
   using namespace uc;
-  const auto scale = bench::parse_scale(argc, argv);
+  const auto scale = bench::parse_scale(argc, argv, /*supports_json=*/true);
   const std::uint64_t move = scale.quick ? (64ull << 20) : (512ull << 20);
 
   bench::print_header(
@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   TextTable table({"I/O config", "ESSD-1 avg(us)/GBps", "ESSD-2 avg(us)/GBps",
                    "SSD avg(us)/GBps", "gap1", "gap2",
                    "time to move data E1/E2/SSD (s)"});
+  bench::Json steps_json = bench::Json::array();
   for (const auto& step : steps) {
     const auto e1 = run_one(devices[0].factory, step.io_bytes, step.qd, move);
     const auto e2 = run_one(devices[1].factory, step.io_bytes, step.qd, move);
@@ -77,9 +78,34 @@ int main(int argc, char** argv) {
          strfmt("%.1f / %.1f / %.1f", e1.gbs > 0 ? secs / e1.gbs : 0.0,
                 e2.gbs > 0 ? secs / e2.gbs : 0.0,
                 sd.gbs > 0 ? secs / sd.gbs : 0.0)});
+    bench::Json row = bench::Json::object();
+    row.set("io_bytes", static_cast<std::uint64_t>(step.io_bytes));
+    row.set("queue_depth", step.qd);
+    const auto cell = [](const Cell& c) {
+      bench::Json j = bench::Json::object();
+      j.set("avg_us", c.avg_us);
+      j.set("p999_us", c.p999_us);
+      j.set("gbs", c.gbs);
+      return j;
+    };
+    row.set("essd1", cell(e1));
+    row.set("essd2", cell(e2));
+    row.set("ssd", cell(sd));
+    row.set("gap1", sd.avg_us > 0 ? e1.avg_us / sd.avg_us : 0.0);
+    row.set("gap2", sd.avg_us > 0 ? e2.avg_us / sd.avg_us : 0.0);
+    steps_json.push(std::move(row));
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("advice: batch small I/Os and raise iodepth — the cloud path "
               "amortizes its fixed latency over bytes in flight.\n");
+
+  bench::Json config = bench::Json::object();
+  config.set("quick", scale.quick);
+  config.set("move_bytes", move);
+  bench::Json metrics = bench::Json::object();
+  metrics.set("steps", std::move(steps_json));
+  bench::maybe_write_json(
+      scale, bench::bench_report("impl1_scaling", std::move(config),
+                                 std::move(metrics)));
   return 0;
 }

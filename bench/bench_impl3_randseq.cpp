@@ -68,7 +68,7 @@ double run_log_structured(const contract::DeviceFactory& factory,
 
 int main(int argc, char** argv) {
   using namespace uc;
-  const auto scale = bench::parse_scale(argc, argv);
+  const auto scale = bench::parse_scale(argc, argv, /*supports_json=*/true);
   const std::uint64_t region = 2ull << 30;
   const std::uint64_t user_bytes = scale.quick ? (512ull << 20) : (2ull << 30);
 
@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
   TextTable table({"device", "in-place rand (GB/s)",
                    "log-structured WA=2 (GB/s)", "log-structured WA=3 (GB/s)",
                    "best strategy"});
+  bench::Json devices_json = bench::Json::array();
   for (const auto& dev : bench::paper_devices(scale)) {
     const double inplace = run_inplace(dev.factory, region, user_bytes);
     const double log2x =
@@ -90,6 +91,13 @@ int main(int argc, char** argv) {
     const char* best = inplace >= log2x ? "in-place random" : "log-structured";
     table.add_row({dev.name, strfmt("%.2f", inplace), strfmt("%.2f", log2x),
                    strfmt("%.2f", log3x), best});
+    bench::Json row = bench::Json::object();
+    row.set("device", dev.name);
+    row.set("inplace_gbs", inplace);
+    row.set("log_wa2_gbs", log2x);
+    row.set("log_wa3_gbs", log3x);
+    row.set("best", best);
+    devices_json.push(std::move(row));
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("note: WA = compaction write amplification of the log "
@@ -99,5 +107,15 @@ int main(int argc, char** argv) {
               "IOPS-bound profile like ESSD-1) the benefit comes from its "
               "large batched appends — Implication 1's I/O scaling — not "
               "from sequentiality itself.\n");
+
+  bench::Json config = bench::Json::object();
+  config.set("quick", scale.quick);
+  config.set("user_bytes", user_bytes);
+  config.set("region_bytes", region);
+  bench::Json metrics = bench::Json::object();
+  metrics.set("devices", std::move(devices_json));
+  bench::maybe_write_json(
+      scale, bench::bench_report("impl3_randseq", std::move(config),
+                                 std::move(metrics)));
   return 0;
 }

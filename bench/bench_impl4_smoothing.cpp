@@ -69,7 +69,7 @@ contract::DeviceFactory budgeted_essd(std::uint64_t capacity, double gbs,
 
 int main(int argc, char** argv) {
   using namespace uc;
-  const auto scale = bench::parse_scale(argc, argv);
+  const auto scale = bench::parse_scale(argc, argv, /*supports_json=*/true);
 
   bench::print_header(
       "Implication 4 — smooth bursts below the throughput budget",
@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"budget (GB/s)", "mode", "p50 (ms)", "p99.9 (ms)",
                    "max queue"});
+  bench::Json sweep = bench::Json::array();
   for (const double budget : {1.1, 0.5, 0.25}) {
     for (const bool smoothed : {false, true}) {
       const auto factory =
@@ -111,6 +112,13 @@ int main(int argc, char** argv) {
                      strfmt("%.2f", r.p50_ms), strfmt("%.1f", r.p999_ms),
                      strfmt("%llu", static_cast<unsigned long long>(
                                         r.max_inflight))});
+      bench::Json row = bench::Json::object();
+      row.set("budget_gbs", budget);
+      row.set("smoothed", smoothed);
+      row.set("p50_ms", r.p50_ms);
+      row.set("p999_ms", r.p999_ms);
+      row.set("max_queue", r.max_inflight);
+      sweep.push(std::move(row));
     }
   }
   std::printf("%s", table.to_string().c_str());
@@ -122,5 +130,20 @@ int main(int argc, char** argv) {
       "provisioned budget; smoothing makes that backlog host-visible and "
       "tunable instead of a provider-side throttle artifact.\n",
       mean_gbs);
+
+  bench::Json config = bench::Json::object();
+  config.set("quick", scale.quick);
+  config.set("smoothing_pace", 0.9);
+  bench::Json metrics = bench::Json::object();
+  bench::Json trace_json = bench::Json::object();
+  trace_json.set("events", static_cast<std::uint64_t>(trace.size()));
+  trace_json.set("duration_s", static_cast<double>(tcfg.duration) / 1e9);
+  trace_json.set("mean_gbs", mean_gbs);
+  trace_json.set("peak_to_mean", wl::trace_peak_to_mean(trace));
+  metrics.set("trace", std::move(trace_json));
+  metrics.set("sweep", std::move(sweep));
+  bench::maybe_write_json(
+      scale, bench::bench_report("impl4_smoothing", std::move(config),
+                                 std::move(metrics)));
   return 0;
 }

@@ -55,7 +55,7 @@ RunResult run(const contract::DeviceFactory& factory,
 
 int main(int argc, char** argv) {
   using namespace uc;
-  const auto scale = bench::parse_scale(argc, argv);
+  const auto scale = bench::parse_scale(argc, argv, /*supports_json=*/true);
   const std::uint64_t volume = scale.quick ? (256ull << 20) : (1ull << 30);
 
   bench::print_header(
@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"device", "raw GB/s (user)", "compressed GB/s (user)",
                    "speedup", "raw avg us", "compressed avg us"});
+  bench::Json devices_json = bench::Json::array();
   for (const auto& dev : bench::paper_devices(scale)) {
     const auto raw = run(dev.factory, nullptr, volume, 65536, 16);
     const auto red = run(dev.factory, &comp, volume, 65536, 16);
@@ -81,6 +82,14 @@ int main(int argc, char** argv) {
                                        ? red.user_gbs / raw.user_gbs
                                        : 0.0),
                    strfmt("%.0f", raw.avg_us), strfmt("%.0f", red.avg_us)});
+    bench::Json row = bench::Json::object();
+    row.set("device", dev.name);
+    row.set("raw_gbs", raw.user_gbs);
+    row.set("reduced_gbs", red.user_gbs);
+    row.set("speedup", raw.user_gbs > 0 ? red.user_gbs / raw.user_gbs : 0.0);
+    row.set("raw_avg_us", raw.avg_us);
+    row.set("reduced_avg_us", red.avg_us);
+    devices_json.push(std::move(row));
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("workload: 64 KiB random writes, QD16, 2:1 reduction, "
@@ -88,5 +97,17 @@ int main(int argc, char** argv) {
   std::printf("the encode ceiling throttles the fast local SSD but sits "
               "above the ESSD budgets, so reduction flips from loss to "
               "win in the cloud.\n");
+
+  bench::Json config = bench::Json::object();
+  config.set("quick", scale.quick);
+  config.set("volume_bytes", volume);
+  config.set("reduction_ratio", comp.reduction_ratio);
+  config.set("encode_us_per_page", comp.encode_us_per_page);
+  config.set("cpu_workers", comp.cpu_workers);
+  bench::Json metrics = bench::Json::object();
+  metrics.set("devices", std::move(devices_json));
+  bench::maybe_write_json(
+      scale, bench::bench_report("impl5_reduction", std::move(config),
+                                 std::move(metrics)));
   return 0;
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "contract/replay.h"
 #include "placement/placement.h"
 #include "sched/sched.h"
 #include "tenant/scenarios.h"
@@ -39,7 +40,10 @@
 namespace uc {
 namespace {
 
-bench::Json tenant_json(const tenant::TenantMetrics& m) {
+// `replay` runs always carry the slowdown keys (the validator requires
+// them, zero or not — a tenant replaying an empty trace still conforms);
+// closed-loop runs omit them so the pre-replay schema stays unchanged.
+bench::Json tenant_json(const tenant::TenantMetrics& m, bool replay = false) {
   bench::Json t = bench::Json::object();
   t.set("name", m.name);
   t.set("ops", m.ops);
@@ -48,6 +52,10 @@ bench::Json tenant_json(const tenant::TenantMetrics& m) {
   t.set("p50_us", m.p50_us);
   t.set("p99_us", m.p99_us);
   t.set("p999_us", m.p999_us);
+  if (replay) {
+    t.set("slowdown_p50_us", m.slowdown_p50_us);
+    t.set("slowdown_p99_us", m.slowdown_p99_us);
+  }
   if (m.interference > 0.0) {
     t.set("solo_p99_us", m.solo_p99_us);
     t.set("solo_gbs", m.solo_gbs);
@@ -97,6 +105,46 @@ bench::Json scenario_json(const tenant::ScenarioResult& r) {
   s.set("fabric", fabric_json(r));
   bench::Json tenants = bench::Json::array();
   for (const auto& m : r.report.tenants) tenants.push(tenant_json(m));
+  s.set("tenants", std::move(tenants));
+  return s;
+}
+
+// One replay-driven scenario: per-tenant slowdown percentiles, backlog, the
+// replayed trace's shape, and the contract replay checker's verdict against
+// each tenant's own provisioned budget.  The host's per-tenant summaries
+// are already computed at the replayed rate scale.
+bench::Json replay_scenario_json(const tenant::ScenarioResult& r) {
+  bench::Json s = bench::Json::object();
+  s.set("name", tenant::scenario_name(r.scenario));
+  s.set("policy", sched::policy_name(r.policy));
+  s.set("jain_index", r.report.jain_index);
+  s.set("aggregate_gbs", r.report.aggregate_gbs);
+  s.set("makespan_s", static_cast<double>(r.makespan) / 1e9);
+  bench::Json tenants = bench::Json::array();
+  for (std::size_t i = 0; i < r.report.tenants.size(); ++i) {
+    bench::Json t = tenant_json(r.report.tenants[i], /*replay=*/true);
+    t.set("backlog_peak", r.backlog_peak[i]);
+    bench::Json trace = bench::Json::object();
+    trace.set("events", r.traces[i].events);
+    trace.set("offered_gbs", r.traces[i].offered_gbs());
+    trace.set("peak_to_mean", r.traces[i].peak_to_mean);
+    t.set("trace", std::move(trace));
+    contract::ReplayCheckConfig check;
+    check.budget_gbs = r.tenants[i].qos.bw_bytes_per_s / 1e9;
+    check.budget_iops = r.tenants[i].qos.iops;
+    const auto verdict = contract::evaluate_replay(
+        r.traces[i], r.colocated[i], r.backlog_peak[i], check);
+    bench::Json violations = bench::Json::array();
+    for (const auto& violation : verdict.violations) {
+      bench::Json v = bench::Json::object();
+      v.set("rule", violation.rule);
+      v.set("severity", violation.severity);
+      v.set("detail", violation.detail);
+      violations.push(std::move(v));
+    }
+    t.set("violations", std::move(violations));
+    tenants.push(std::move(t));
+  }
   s.set("tenants", std::move(tenants));
   return s;
 }
@@ -213,8 +261,26 @@ int main(int argc, char** argv) {
   int clusters = 1;
   std::vector<placement::Policy> placements;
   std::vector<double> weights;
+  bool trace_gen = false;
+  std::vector<std::string> trace_paths;
+  double rate_scale = 1.0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      // Repeatable: the k-th --trace feeds tenant k of each replay
+      // scenario (missing tenants fall back to their synthetic role
+      // traces).
+      trace_paths.emplace_back(argv[i + 1]);
+      ++i;
+    } else if (std::strcmp(argv[i], "--trace-gen") == 0) {
+      trace_gen = true;
+    } else if (std::strcmp(argv[i], "--rate-scale") == 0 && i + 1 < argc) {
+      rate_scale = std::strtod(argv[i + 1], nullptr);
+      if (rate_scale <= 0.0) {
+        std::fprintf(stderr, "error: --rate-scale wants a positive factor\n");
+        return 2;
+      }
+      ++i;
+    } else if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
       clusters = std::atoi(argv[i + 1]);
       if (clusters < 1) {
         std::fprintf(stderr, "error: --clusters wants a positive count\n");
@@ -468,6 +534,43 @@ int main(int argc, char** argv) {
     placement_json.set("migration_relief", std::move(relief_json));
   }
 
+  // --------------------------------------------------- replay study --
+  // Open-loop replay-driven scenarios (--trace / --trace-gen): the same
+  // tenant mixes driven by per-tenant traces through the shared cluster,
+  // with per-tenant slowdown percentiles and the contract replay checker's
+  // violations per tenant.  Solo baselines replay the same trace alone, so
+  // the interference ratio keeps its meaning.
+  const bool replay_requested = trace_gen || !trace_paths.empty();
+  bench::Json replay_json = bench::Json::object();
+  if (replay_requested) {
+    tenant::ScenarioOptions ropt = opt;
+    ropt.replay = true;
+    ropt.trace_paths = trace_paths;
+    ropt.rate_scale = rate_scale;
+
+    const std::vector<tenant::Scenario> replay_study = {
+        tenant::Scenario::kNoisyNeighbor, tenant::Scenario::kFairShare};
+    bench::Json replay_scenarios = bench::Json::array();
+    for (const tenant::Scenario s : replay_study) {
+      const auto result = tenant::run_scenario(s, ropt);
+      std::printf("\n--- %s [replay, rate-scale %.2f] ---\n%s",
+                  tenant::scenario_name(s), rate_scale,
+                  result.report.to_table().c_str());
+      if (s == tenant::Scenario::kNoisyNeighbor) {
+        std::printf(
+            "replay noisy-neighbour victim p99 inflation: %.2fx (open-loop "
+            "arrivals, per-tenant traces)\n",
+            worst_victim_interference(result));
+      }
+      replay_scenarios.push(replay_scenario_json(result));
+    }
+    replay_json.set("rate_scale", rate_scale);
+    bench::Json paths = bench::Json::array();
+    for (const auto& p : trace_paths) paths.push(p);
+    replay_json.set("trace_paths", std::move(paths));
+    replay_json.set("scenarios", std::move(replay_scenarios));
+  }
+
   bench::Json config = bench::Json::object();
   config.set("quick", opt.quick);
   config.set("seed", opt.seed);
@@ -483,6 +586,7 @@ int main(int argc, char** argv) {
   metrics.set("policies", std::move(policies));
   metrics.set("buyback", std::move(buyback));
   if (clusters > 1) metrics.set("placement", std::move(placement_json));
+  if (replay_requested) metrics.set("replay", std::move(replay_json));
   bench::maybe_write_json(
       scale, bench::bench_report("multi_tenant", std::move(config),
                                  std::move(metrics)));

@@ -127,6 +127,45 @@ def check_multi_tenant(path, metrics):
     # The cross-cluster placement study rides along when --clusters > 1.
     if "placement" in metrics:
         check_placement(path, metrics["placement"])
+    # The replay-driven study rides along with --trace / --trace-gen.
+    if "replay" in metrics:
+        check_replay_block(path, metrics["replay"])
+
+
+def check_violations(path, violations):
+    if not isinstance(violations, list):
+        fail(path, "violations must be an array")
+    for v in violations:
+        for key in ("rule", "severity", "detail"):
+            if key not in v:
+                fail(path, f"violation entry missing '{key}'")
+
+
+def check_replay_block(path, replay):
+    for key in ("rate_scale", "trace_paths", "scenarios"):
+        if key not in replay:
+            fail(path, f"metrics.replay missing '{key}'")
+    if not isinstance(replay["scenarios"], list) or not replay["scenarios"]:
+        fail(path, "metrics.replay.scenarios must be a non-empty array")
+    for s in replay["scenarios"]:
+        for key in ("name", "policy", "jain_index", "aggregate_gbs",
+                    "makespan_s", "tenants"):
+            if key not in s:
+                fail(path, f"replay scenario '{s.get('name')}' missing "
+                           f"'{key}'")
+        if not s["tenants"]:
+            fail(path, f"replay scenario '{s['name']}' has no tenants")
+        for tenant in s["tenants"]:
+            check_tenant(path, tenant)
+            for key in ("slowdown_p50_us", "slowdown_p99_us", "backlog_peak",
+                        "trace", "violations"):
+                if key not in tenant:
+                    fail(path, f"replay tenant '{tenant.get('name')}' "
+                               f"missing '{key}'")
+            for key in ("events", "offered_gbs", "peak_to_mean"):
+                if key not in tenant["trace"]:
+                    fail(path, f"replay tenant trace missing '{key}'")
+            check_violations(path, tenant["violations"])
 
 
 def check_fig2(path, metrics):
@@ -249,6 +288,93 @@ def check_sim_micro(path, metrics):
                 fail(path, f"benchmark row missing '{key}'")
 
 
+def check_impl1(path, metrics):
+    steps = metrics.get("steps")
+    if not isinstance(steps, list) or not steps:
+        fail(path, "metrics.steps must be a non-empty array")
+    for step in steps:
+        for key in ("io_bytes", "queue_depth", "essd1", "essd2", "ssd",
+                    "gap1", "gap2"):
+            if key not in step:
+                fail(path, f"impl1 step missing '{key}'")
+        for dev in ("essd1", "essd2", "ssd"):
+            for key in ("avg_us", "p999_us", "gbs"):
+                if key not in step[dev]:
+                    fail(path, f"impl1 step.{dev} missing '{key}'")
+
+
+def check_impl3(path, metrics):
+    devices = metrics.get("devices")
+    if not isinstance(devices, list) or len(devices) != 3:
+        fail(path, "metrics.devices must list ESSD-1, ESSD-2, and the SSD")
+    for dev in devices:
+        for key in ("device", "inplace_gbs", "log_wa2_gbs", "log_wa3_gbs",
+                    "best"):
+            if key not in dev:
+                fail(path, f"impl3 device row missing '{key}'")
+        if dev["best"] not in ("in-place random", "log-structured"):
+            fail(path, f"impl3 unknown best strategy: {dev['best']}")
+
+
+def check_impl4(path, metrics):
+    trace = metrics.get("trace")
+    if not isinstance(trace, dict):
+        fail(path, "metrics.trace must be an object")
+    for key in ("events", "duration_s", "mean_gbs", "peak_to_mean"):
+        if key not in trace:
+            fail(path, f"impl4 trace missing '{key}'")
+    sweep = metrics.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        fail(path, "metrics.sweep must be a non-empty array")
+    for row in sweep:
+        for key in ("budget_gbs", "smoothed", "p50_ms", "p999_ms",
+                    "max_queue"):
+            if key not in row:
+                fail(path, f"impl4 sweep row missing '{key}'")
+
+
+def check_impl5(path, metrics):
+    devices = metrics.get("devices")
+    if not isinstance(devices, list) or len(devices) != 3:
+        fail(path, "metrics.devices must list ESSD-1, ESSD-2, and the SSD")
+    for dev in devices:
+        for key in ("device", "raw_gbs", "reduced_gbs", "speedup",
+                    "raw_avg_us", "reduced_avg_us"):
+            if key not in dev:
+                fail(path, f"impl5 device row missing '{key}'")
+
+
+def check_trace_replay(path, metrics):
+    trace = metrics.get("trace")
+    if not isinstance(trace, dict):
+        fail(path, "metrics.trace must be an object")
+    for key in ("events", "span_s", "offered_gbs", "offered_iops",
+                "peak_to_mean", "small_io_byte_fraction"):
+        if key not in trace:
+            fail(path, f"trace_replay trace missing '{key}'")
+    for leg in ("scale_replay", "overload_replay"):
+        run = metrics.get(leg)
+        if not isinstance(run, dict):
+            fail(path, f"metrics.{leg} must be an object")
+        for key in ("offered_gbs", "achieved_gbs", "slowdown_p50_ms",
+                    "slowdown_p99_ms", "backlog_peak", "violations"):
+            if key not in run:
+                fail(path, f"{leg} missing '{key}'")
+        check_violations(path, run["violations"])
+    closed = metrics.get("closed_loop")
+    if not isinstance(closed, dict):
+        fail(path, "metrics.closed_loop must be an object")
+    for key in ("gbs", "p50_ms", "p99_ms"):
+        if key not in closed:
+            fail(path, f"closed_loop missing '{key}'")
+    div = metrics.get("divergence")
+    if not isinstance(div, dict):
+        fail(path, "metrics.divergence must be an object")
+    for key in ("open_p99_slowdown_ms", "closed_p99_latency_ms", "ratio"):
+        if key not in div:
+            fail(path, f"divergence missing '{key}'")
+
+
 CHECKS = {
     "multi_tenant": check_multi_tenant,
     "fig2_latency": check_fig2,
@@ -259,6 +385,11 @@ CHECKS = {
     "ablation_essd": check_ablation_essd,
     "ablation_gc": check_ablation_gc,
     "sim_micro": check_sim_micro,
+    "impl1_scaling": check_impl1,
+    "impl3_randseq": check_impl3,
+    "impl4_smoothing": check_impl4,
+    "impl5_reduction": check_impl5,
+    "trace_replay": check_trace_replay,
 }
 
 

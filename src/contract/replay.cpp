@@ -1,0 +1,98 @@
+#include "contract/replay.h"
+
+#include <utility>
+
+#include "common/strfmt.h"
+
+namespace uc::contract {
+
+namespace {
+
+void add(std::vector<ReplayViolation>& out, const char* rule, double severity,
+         std::string detail) {
+  out.push_back(ReplayViolation{rule, severity, std::move(detail)});
+}
+
+}  // namespace
+
+ReplayVerdict evaluate_replay(const wl::TraceSummary& trace,
+                              const wl::JobStats& stats,
+                              std::uint64_t backlog_peak,
+                              const ReplayCheckConfig& cfg) {
+  ReplayVerdict v;
+  v.offered_gbs = trace.offered_gbs();
+  v.offered_iops = trace.offered_iops();
+  v.achieved_gbs = stats.throughput_gbs();
+  v.peak_to_mean = trace.peak_to_mean;
+  v.backlog_peak = backlog_peak;
+  if (!stats.slowdown.empty()) {
+    v.slowdown_p50_ms =
+        static_cast<double>(stats.slowdown.percentile(50.0)) / 1e6;
+    v.slowdown_p99_ms =
+        static_cast<double>(stats.slowdown.percentile(99.0)) / 1e6;
+  }
+
+  // Implication 4, sustained form: a byte budget is a hard ceiling, so an
+  // offered load above it cannot converge open-loop — the backlog grows for
+  // as long as the trace lasts.
+  if (cfg.budget_gbs > 0.0 && v.offered_gbs > cfg.budget_gbs) {
+    add(v.violations, "offered-load-exceeds-budget",
+        v.offered_gbs / cfg.budget_gbs,
+        strfmt("sustained offered %.3f GB/s > provisioned %.3f GB/s; "
+               "open-loop backlog diverges for the length of the trace",
+               v.offered_gbs, cfg.budget_gbs));
+  }
+  if (cfg.budget_iops > 0.0 && v.offered_iops > cfg.budget_iops) {
+    add(v.violations, "offered-iops-exceed-budget",
+        v.offered_iops / cfg.budget_iops,
+        strfmt("sustained offered %.0f IOPS > provisioned %.0f IOPS",
+               v.offered_iops, cfg.budget_iops));
+  }
+
+  // Implication 4, burst form: the mean fits but the 100 ms peaks do not —
+  // exactly the workload the host-side smoother should pace below budget.
+  // Judged on the *byte* peak-to-mean: a byte budget does not care how
+  // many events a burst packs, only how many bytes.
+  const double peak_gbs = trace.byte_peak_to_mean * v.offered_gbs;
+  if (cfg.budget_gbs > 0.0 && v.offered_gbs <= cfg.budget_gbs &&
+      peak_gbs > cfg.burst_tolerance * cfg.budget_gbs) {
+    add(v.violations, "bursts-exceed-budget", peak_gbs / cfg.budget_gbs,
+        strfmt("peak 100ms windows offer ~%.3f GB/s (%.1fx the mean) "
+               "against a %.3f GB/s budget; smooth the bursts below the "
+               "budget (Implication 4)",
+               peak_gbs, trace.byte_peak_to_mean, cfg.budget_gbs));
+  }
+
+  // Implication 1: most bytes moving in small I/Os pays the cloud latency
+  // floor on every one of them.
+  if (trace.small_io_byte_fraction > cfg.small_io_fraction) {
+    add(v.violations, "small-io-dominated", trace.small_io_byte_fraction,
+        strfmt("%.0f%% of trace bytes move in sub-64KiB I/Os; batch or "
+               "scale I/Os up to amortize the cloud latency floor "
+               "(Implication 1)",
+               trace.small_io_byte_fraction * 100.0));
+  }
+
+  // Open-loop divergence: the tail slowdown detached from the median, or
+  // the backlog grew past any closed-loop queue depth — the replay fell
+  // behind its own timeline.
+  const bool tail_detached =
+      v.slowdown_p50_ms > 0.0 &&
+      v.slowdown_p99_ms > cfg.divergence_ratio * v.slowdown_p50_ms &&
+      v.slowdown_p99_ms > cfg.divergence_floor_ms;
+  const bool backlog_blown = backlog_peak > cfg.backlog_limit;
+  if (tail_detached || backlog_blown) {
+    const double severity =
+        v.slowdown_p50_ms > 0.0 ? v.slowdown_p99_ms / v.slowdown_p50_ms
+                                : static_cast<double>(backlog_peak);
+    add(v.violations, "open-loop-divergence", severity,
+        strfmt("slowdown p99 %.2f ms vs p50 %.2f ms, peak backlog %llu "
+               "outstanding; the device fell behind the trace timeline",
+               v.slowdown_p99_ms, v.slowdown_p50_ms,
+               static_cast<unsigned long long>(backlog_peak)));
+  }
+
+  return v;
+}
+
+}  // namespace uc::contract

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file replay.h
+/// The contract checker's open-loop arm: judges a trace replay run against
+/// the unwritten contract the closed-loop suite establishes.
+///
+/// The paper's observations are measured closed-loop; its *implications*
+/// are about production traffic, which arrives open-loop.  `evaluate_replay`
+/// takes what a replay run produced — the trace's shape
+/// (`wl::TraceSummary`), the replayer's stats (including the per-op
+/// slowdown histogram), and the provisioned budget — and emits quantified
+/// violation reports: each names the implication it traces back to, so a
+/// report reads as device-specific advice ("smooth these bursts", "scale
+/// these I/Os up") rather than a bare failure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/runner.h"
+#include "workload/trace.h"
+
+namespace uc::contract {
+
+struct ReplayCheckConfig {
+  /// Provisioned budgets the trace is judged against (0 = unpublished; the
+  /// budget rules are skipped).
+  double budget_gbs = 0.0;
+  double budget_iops = 0.0;
+
+  /// Burst windows above `burst_tolerance x` budget flag Implication 4
+  /// even when the sustained offered load fits.
+  double burst_tolerance = 1.25;
+  /// Bytes moved by sub-64KiB I/Os above this fraction flag Implication 1.
+  double small_io_fraction = 0.5;
+  /// p99/p50 slowdown above this flags open-loop divergence (the backlog
+  /// excursions a closed-loop measurement never shows) — but only once the
+  /// tail also clears `divergence_floor_ms`, so a healthy replay whose p50
+  /// merely sits low does not false-positive.
+  double divergence_ratio = 4.0;
+  double divergence_floor_ms = 20.0;
+  /// Peak outstanding I/Os above this flags unbounded queue growth.
+  std::uint64_t backlog_limit = 256;
+};
+
+/// One quantified violation.  `rule` is a stable kebab-case id; `severity`
+/// is the rule's magnitude (a ratio; bigger = worse); `detail` is the
+/// human-readable evidence.
+struct ReplayViolation {
+  std::string rule;
+  double severity = 0.0;
+  std::string detail;
+};
+
+struct ReplayVerdict {
+  // Offered vs delivered, over the trace's own timeline.
+  double offered_gbs = 0.0;
+  double offered_iops = 0.0;
+  double achieved_gbs = 0.0;
+  double peak_to_mean = 0.0;
+
+  // Per-op slowdown percentiles (ms) from the replayer's accounting.
+  double slowdown_p50_ms = 0.0;
+  double slowdown_p99_ms = 0.0;
+  std::uint64_t backlog_peak = 0;
+
+  std::vector<ReplayViolation> violations;
+  bool clean() const { return violations.empty(); }
+};
+
+/// Evaluates one replay run.  `trace` must summarize the replayed trace at
+/// its *offered* (rate-scaled) pace — `wl::summarize_trace(trace,
+/// rate_scale)` or `wl::load_source_trace_summary`, both of which bin the
+/// time-warped timeline, so windowed burst peaks are those of the replay
+/// as driven.
+ReplayVerdict evaluate_replay(const wl::TraceSummary& trace,
+                              const wl::JobStats& stats,
+                              std::uint64_t backlog_peak,
+                              const ReplayCheckConfig& cfg);
+
+}  // namespace uc::contract

@@ -70,6 +70,11 @@ class Cleaner {
   /// Pool or garbage state changed; (re)start the cleaning loop if needed.
   void notify();
 
+  /// Re-registers `tenant`'s weight on the background-bandwidth pipe.
+  void set_tenant_weight(std::uint32_t tenant, double weight) {
+    pipe_.set_tenant_weight(tenant, weight);
+  }
+
   bool busy() const { return busy_; }
   const CleanerStats& stats() const { return stats_; }
   /// The background-bandwidth pipe (per-tenant busy-time attribution).

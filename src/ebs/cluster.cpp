@@ -80,6 +80,19 @@ VolumeId StorageCluster::attach_volume(std::uint64_t volume_bytes) {
   return attach_volume_internal(volume_bytes, /*grow_pool=*/true);
 }
 
+void StorageCluster::set_volume_weight(VolumeId vol, double weight) {
+  UC_ASSERT(vol < volumes_.size(), "unknown volume");
+  UC_ASSERT(weight > 0.0, "weights must be positive");
+  if (vol >= cfg_.sched.weights.size()) {
+    cfg_.sched.weights.resize(vol + 1, cfg_.sched.default_weight);
+  }
+  cfg_.sched.weights[vol] = weight;
+  fabric_.set_tenant_weight(vol, weight);
+  for (auto& node : node_append_) node.set_tenant_weight(vol, weight);
+  for (auto& node : node_read_) node.set_tenant_weight(vol, weight);
+  cleaner_->set_tenant_weight(vol, weight);
+}
+
 VolumeId StorageCluster::attach_volume_internal(std::uint64_t volume_bytes,
                                                 bool grow_pool) {
   UC_ASSERT(volume_bytes > 0 && volume_bytes % kLogicalPageBytes == 0,

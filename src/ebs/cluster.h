@@ -125,6 +125,13 @@ class StorageCluster {
   /// the dense id used to address the volume in every per-volume call.
   VolumeId attach_volume(std::uint64_t volume_bytes);
 
+  /// Re-registers `vol`'s fair-share weight on every shared resource the
+  /// cluster owns (NIC pipes, node pipelines, cleaner bandwidth).  The
+  /// construction-time `cfg.sched.weights` fold only covers volumes known
+  /// up front; a migrated-in volume calls this so it keeps its tenant's
+  /// WFQ share on its new home instead of `default_weight`.
+  void set_volume_weight(VolumeId vol, double weight);
+
   /// Replicated append of a write fragment (must lie within one chunk).
   /// Pages get stamps `first_stamp + i`.  Completes on the slowest replica;
   /// stalls first if the segment pool is exhausted.  `io_class` is the

@@ -102,6 +102,13 @@ SimTime Fabric::hop_latency(std::uint64_t bytes) {
   return hop_model_.sample(rng_, bytes);
 }
 
+void Fabric::set_tenant_weight(std::uint32_t tenant, double weight) {
+  vm_tx_.set_tenant_weight(tenant, weight);
+  vm_rx_.set_tenant_weight(tenant, weight);
+  for (auto& pipe : node_tx_) pipe.set_tenant_weight(tenant, weight);
+  for (auto& pipe : node_rx_) pipe.set_tenant_weight(tenant, weight);
+}
+
 FabricStats Fabric::stats() const {
   FabricStats s;
   s.vm_tx_bytes = vm_tx_bytes_;

@@ -77,6 +77,10 @@ class Fabric {
   /// One-way hop latency sample only (for control messages).
   SimTime hop_latency(std::uint64_t bytes = 0);
 
+  /// Re-registers `tenant`'s fair-share weight on every NIC pipe (a
+  /// migrated-in volume carrying its weight to the new cluster's fabric).
+  void set_tenant_weight(std::uint32_t tenant, double weight);
+
   int nodes() const { return static_cast<int>(node_tx_.size()); }
 
   std::uint64_t vm_tx_bytes() const { return vm_tx_bytes_; }

@@ -135,7 +135,7 @@ MultiClusterHost::MultiClusterHost(sim::Simulator& sim,
 
   volume_of_.resize(tenants_.size());
   devices_.reserve(tenants_.size());
-  runners_.reserve(tenants_.size());
+  sources_.reserve(tenants_.size());
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     const tenant::TenantSpec& t = tenants_[i];
     const int c = cluster_of_[i];
@@ -146,14 +146,14 @@ MultiClusterHost::MultiClusterHost(sim::Simulator& sim,
         tenant::SharedClusterHost::tenant_config(cluster_base(c), t,
                                                  local_index_[i]),
         cluster, volume_of_[i]));
-    runners_.push_back(
-        std::make_unique<wl::JobRunner>(sim_, *devices_.back(), t.job));
+    sources_.push_back(wl::make_load_source_or_die(sim_, *devices_.back(),
+                                                   t.load, "tenant " + t.name));
   }
 }
 
 bool MultiClusterHost::all_runners_finished() const {
-  for (const auto& r : runners_) {
-    if (!r->finished()) return false;
+  for (const auto& s : sources_) {
+    if (!s->finished()) return false;
   }
   return true;
 }
@@ -181,7 +181,7 @@ bool MultiClusterHost::maybe_rebalance() {
   std::size_t pick = tenants_.size();
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     if (static_cast<std::size_t>(cluster_of_[i]) != busiest) continue;
-    if (runners_[i]->finished()) continue;
+    if (sources_[i]->finished()) continue;
     if (pick == tenants_.size() ||
         tenants_[i].capacity_bytes > tenants_[pick].capacity_bytes) {
       pick = i;
@@ -207,12 +207,13 @@ void MultiClusterHost::start_migration(std::size_t tenant, int to_cluster) {
   const int from = cluster_of_[tenant];
   auto& src = *clusters_[static_cast<std::size_t>(from)];
   auto& dst = *clusters_[static_cast<std::size_t>(to_cluster)];
-  // Known WFQ limitation (ROADMAP): the destination cluster's weight fold
-  // was fixed at construction, so the migrated-in volume's new VolumeId
-  // falls back to `default_weight` there — a weighted tenant keeps its
-  // share on the source but not on its new home.
   const ebs::VolumeId dst_vol =
       dst.attach_volume(tenants_[tenant].capacity_bytes);
+  // The destination's construction-time weight fold only covered volumes
+  // planned onto it; carry the tenant's WFQ weight through the cutover so
+  // the copy traffic and the tenant's post-migration foreground I/O keep
+  // their fair share on the new home.
+  dst.set_volume_weight(dst_vol, tenants_[tenant].weight);
   records_.push_back(MigrationRecord{tenant, from, to_cluster, {}});
   const std::size_t record = records_.size() - 1;
   migrator_ = std::make_unique<VolumeMigrator>(
@@ -248,17 +249,19 @@ PlacementResult MultiClusterHost::run() {
     cluster_before.push_back(c->stats());
     cleaner_before.push_back(c->cleaner().stats());
   }
-  for (auto& runner : runners_) runner->start();
+  for (auto& source : sources_) source->start();
   if (cfg_.clusters > 1 && cfg_.rebalance_watermark > 1.0) {
     schedule_rebalance_check();
   }
   sim_.run();
 
-  result.stats.reserve(runners_.size());
-  for (auto& runner : runners_) {
-    UC_ASSERT(runner->finished(), "simulator drained but a tenant job hung");
-    result.stats.push_back(runner->stats());
-    result.makespan = std::max(result.makespan, runner->stats().last_complete);
+  result.stats.reserve(sources_.size());
+  for (auto& source : sources_) {
+    UC_ASSERT(source->finished(), "simulator drained but a tenant load hung");
+    result.stats.push_back(source->stats());
+    result.backlog_peak.push_back(source->backlog_peak());
+    result.traces.push_back(wl::load_source_trace_summary(*source));
+    result.makespan = std::max(result.makespan, source->stats().last_complete);
   }
   result.initial_cluster = initial_cluster_;
   result.final_cluster = cluster_of_;
@@ -297,6 +300,8 @@ PlacementScenarioResult run_placement_scenario(
   result.cluster = std::move(run.cluster);
   result.cleaner = std::move(run.cleaner);
   result.colocated = std::move(run.stats);
+  result.backlog_peak = std::move(run.backlog_peak);
+  result.traces = std::move(run.traces);
 
   if (opt.base.solo_baselines) {
     result.solo.reserve(setup.tenants.size());

@@ -88,6 +88,10 @@ struct MigrationRecord {
 /// Outcome of a multi-cluster colocated run.
 struct PlacementResult {
   std::vector<wl::JobStats> stats;  ///< per tenant, spec order
+  /// Per-tenant peak outstanding I/Os and replayed-trace summaries (the
+  /// latter zero-event for closed-loop tenants); see `tenant::HostResult`.
+  std::vector<std::uint64_t> backlog_peak;
+  std::vector<wl::TraceSummary> traces;
   std::vector<int> initial_cluster;
   std::vector<int> final_cluster;
   std::vector<MigrationRecord> migrations;
@@ -98,9 +102,10 @@ struct PlacementResult {
   std::vector<ebs::CleanerStats> cleaner;
 };
 
-/// N tenants over K clusters: one simulator, one `EssdDevice` + `JobRunner`
-/// per tenant, per-cluster WFQ weight folds, and optional watermark-driven
-/// live migration while the tenants run.
+/// N tenants over K clusters: one simulator, one `EssdDevice` +
+/// `wl::LoadSource` (closed-loop job or open-loop replay) per tenant,
+/// per-cluster WFQ weight folds, and optional watermark-driven live
+/// migration while the tenants run.
 class MultiClusterHost {
  public:
   MultiClusterHost(sim::Simulator& sim, const essd::EssdConfig& base,
@@ -116,6 +121,11 @@ class MultiClusterHost {
     return *clusters_[static_cast<std::size_t>(c)];
   }
   int cluster_of(std::size_t tenant) const { return cluster_of_[tenant]; }
+  /// The volume currently serving tenant `i` (its new home after a
+  /// migration cut over).
+  ebs::VolumeId volume_of(std::size_t tenant) const {
+    return volume_of_[tenant];
+  }
   const essd::EssdDevice& device(std::size_t i) const { return *devices_[i]; }
   const std::vector<MigrationRecord>& migrations() const { return records_; }
 
@@ -147,7 +157,7 @@ class MultiClusterHost {
   std::vector<std::vector<double>> cluster_weights_;  ///< fold per cluster
   std::vector<std::unique_ptr<ebs::StorageCluster>> clusters_;
   std::vector<std::unique_ptr<essd::EssdDevice>> devices_;
-  std::vector<std::unique_ptr<wl::JobRunner>> runners_;
+  std::vector<std::unique_ptr<wl::LoadSource>> sources_;
   std::unique_ptr<VolumeMigrator> migrator_;  ///< at most one at a time
   std::vector<MigrationRecord> records_;
   bool ran_ = false;
@@ -166,6 +176,8 @@ struct PlacementScenarioResult {
   std::vector<tenant::TenantSpec> tenants;
   std::vector<wl::JobStats> colocated;
   std::vector<wl::JobStats> solo;  ///< empty when baselines disabled
+  std::vector<std::uint64_t> backlog_peak;
+  std::vector<wl::TraceSummary> traces;
   tenant::FairnessReport report;   ///< across all tenants
   /// Fairness within each cluster (tenants grouped by *final* placement;
   /// a migrated tenant's stats span both homes and are attributed to the

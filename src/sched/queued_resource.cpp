@@ -37,6 +37,14 @@ void QueuedResource::configure(sim::Simulator& sim,
   sched_ = cfg.policy == Policy::kFifo ? nullptr : make_scheduler(cfg);
 }
 
+void QueuedResource::set_tenant_weight(std::uint32_t tenant, double weight) {
+  if (tenant >= cfg_.weights.size()) {
+    cfg_.weights.resize(tenant + 1, cfg_.default_weight);
+  }
+  cfg_.weights[tenant] = weight;
+  if (sched_ != nullptr) sched_->set_weight(tenant, weight);
+}
+
 SimTime QueuedResource::reserve(SimTime arrival, SimTime duration,
                                 const SchedTag& tag) {
   const SimTime free = free_at_.top();

@@ -53,6 +53,10 @@ class QueuedResource {
   /// non-FIFO policies need the simulator for their dispatch events.
   void configure(sim::Simulator& sim, const SchedulerConfig& cfg);
 
+  /// Re-registers one tenant's fair-share weight at runtime (weight-aware
+  /// policies only; already-queued items keep their accumulated deficit).
+  void set_tenant_weight(std::uint32_t tenant, double weight);
+
   Policy policy() const { return cfg_.policy; }
 
   /// Legacy synchronous horizon reservation (untagged).  Only valid under

@@ -32,8 +32,8 @@ enum class IoClass : std::uint8_t {
   /// priority under `kPrio` — a rebalance must never beat foreground I/O or
   /// the reclaim that keeps the pool alive — and an ordinary per-tenant
   /// flow under WFQ (source-side copy reads share the migrating tenant's
-  /// weighted flow; the destination volume's flow starts at
-  /// `default_weight` until weights are re-registered, see ROADMAP).
+  /// weighted flow; the destination re-registers the tenant's weight at
+  /// attach via `StorageCluster::set_volume_weight`).
   kMigration = 4,
 };
 inline constexpr int kIoClassCount = 5;

@@ -76,6 +76,13 @@ class DrrScheduler final : public Scheduler {
  public:
   explicit DrrScheduler(const SchedulerConfig& cfg) : cfg_(cfg) {}
 
+  void set_weight(std::uint32_t tenant, double weight) override {
+    if (tenant >= cfg_.weights.size()) {
+      cfg_.weights.resize(tenant + 1, cfg_.default_weight);
+    }
+    cfg_.weights[tenant] = weight;
+  }
+
  protected:
   void do_push(Item item) override {
     const std::uint32_t t = item.tag.tenant;

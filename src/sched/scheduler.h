@@ -75,6 +75,14 @@ class Scheduler {
   std::size_t size() const { return size_; }
   bool empty() const { return size() == 0; }
 
+  /// Re-registers `tenant`'s fair-share weight at runtime (a migrated-in
+  /// volume carrying its tenant's weight to the new cluster).  Only the
+  /// weight-aware policy (DRR-WFQ) reacts; FIFO and priority ignore it.
+  virtual void set_weight(std::uint32_t tenant, double weight) {
+    (void)tenant;
+    (void)weight;
+  }
+
  protected:
   /// Moves one item out of the backing queues by policy; only called when
   /// at least one item is pending.

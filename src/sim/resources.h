@@ -47,6 +47,10 @@ class SerialResource {
     q_.configure(sim, cfg);
   }
 
+  void set_tenant_weight(std::uint32_t tenant, double weight) {
+    q_.set_tenant_weight(tenant, weight);
+  }
+
   sched::Policy policy() const { return q_.policy(); }
 
   SimTime busy_until() const { return q_.busy_until(); }
@@ -89,6 +93,10 @@ class BandwidthPipe {
 
   void configure(Simulator& sim, const sched::SchedulerConfig& cfg) {
     q_.configure(sim, cfg);
+  }
+
+  void set_tenant_weight(std::uint32_t tenant, double weight) {
+    q_.set_tenant_weight(tenant, weight);
   }
 
   sched::Policy policy() const { return q_.policy(); }

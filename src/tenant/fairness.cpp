@@ -44,6 +44,12 @@ FairnessReport build_fairness_report(
     m.p99_us = static_cast<double>(s.all_latency.percentile(99.0)) / 1e3;
     m.p999_us = static_cast<double>(s.all_latency.percentile(99.9)) / 1e3;
     m.throughput_gbs = s.throughput_gbs();
+    if (!s.slowdown.empty()) {
+      m.slowdown_p50_us =
+          static_cast<double>(s.slowdown.percentile(50.0)) / 1e3;
+      m.slowdown_p99_us =
+          static_cast<double>(s.slowdown.percentile(99.0)) / 1e3;
+    }
     if (!solo.empty()) {
       m.solo_p99_us =
           static_cast<double>(solo[i].all_latency.percentile(99.0)) / 1e3;
@@ -143,15 +149,23 @@ std::string FairnessComparison::to_table() const {
 
 std::string FairnessReport::to_table() const {
   const bool with_solo = has_solo_baselines;
+  bool with_slowdown = false;
+  for (const TenantMetrics& m : tenants) {
+    with_slowdown = with_slowdown || m.slowdown_p99_us > 0.0;
+  }
   std::vector<std::string> header = {"tenant", "ops",   "GB/s",
                                      "share",  "p50us", "p99us",
                                      "p99.9us"};
+  if (with_slowdown) {
+    header.push_back("sd-p50us");
+    header.push_back("sd-p99us");
+  }
   if (with_solo) {
     header.push_back("solo-p99us");
     header.push_back("interf");
   }
-  TextTable table(std::move(header));
-  for (std::size_t c = 1; c < (with_solo ? 9u : 7u); ++c) {
+  TextTable table(header);
+  for (std::size_t c = 1; c < header.size(); ++c) {
     table.set_align(c, TextTable::Align::kRight);
   }
   for (const TenantMetrics& m : tenants) {
@@ -163,6 +177,10 @@ std::string FairnessReport::to_table() const {
         strfmt("%.0f", m.p50_us),
         strfmt("%.0f", m.p99_us),
         strfmt("%.0f", m.p999_us)};
+    if (with_slowdown) {
+      row.push_back(strfmt("%.0f", m.slowdown_p50_us));
+      row.push_back(strfmt("%.0f", m.slowdown_p99_us));
+    }
     if (with_solo) {
       row.push_back(strfmt("%.0f", m.solo_p99_us));
       row.push_back(strfmt("%.2fx", m.interference));

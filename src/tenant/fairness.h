@@ -27,6 +27,12 @@ struct TenantMetrics {
   double throughput_gbs = 0.0;
   double share = 0.0;  ///< fraction of the aggregate colocated throughput
 
+  /// Open-loop replay only (zeros for closed-loop tenants): per-op
+  /// completion delay against the intended trace arrival — the response
+  /// time including the backlog an overloaded path accumulated.
+  double slowdown_p50_us = 0.0;
+  double slowdown_p99_us = 0.0;
+
   // Solo baseline (zeros when no baseline was run).
   double solo_p99_us = 0.0;
   double solo_gbs = 0.0;

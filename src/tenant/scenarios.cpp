@@ -70,6 +70,20 @@ essd::QosConfig qos_budget(double bytes_per_s, double burst_s) {
   return qos;
 }
 
+// Converts a tenant's closed-loop role into its open-loop equivalent: a
+// synthetic trace statistically shaped like the job (same region, size,
+// mix, duration, seed), offered at `base_iops` with role-chosen burstiness.
+// The offered rates below are hand-picked per role — a hog floods, a victim
+// trickles — because closed-loop queue depths say nothing about arrival
+// rates.
+void to_replay(TenantSpec& t, double base_iops, double burst_iops,
+               double bursts_per_s) {
+  t.load.open_loop = true;
+  t.load.gen = wl::derive_trace_gen(t.load.job, base_iops);
+  t.load.gen.burst_iops = burst_iops;
+  t.load.gen.bursts_per_s = bursts_per_s;
+}
+
 Built build_noisy_neighbor(const ScenarioOptions& opt) {
   const std::uint64_t cap = opt.quick ? 128 * kMiB : 256 * kMiB;
   const SimTime duration = opt.quick ? kSec / 2 : 2 * kSec;
@@ -80,13 +94,16 @@ Built build_noisy_neighbor(const ScenarioOptions& opt) {
   hog.capacity_bytes = cap;
   // A top-tier budget: the hog is allowed to flood the shared uplink.
   hog.qos = qos_budget(4.0e9, 0.05);
-  hog.job.name = "hog-randwrite";
-  hog.job.pattern = wl::AccessPattern::kRandom;
-  hog.job.io_bytes = 256 * 1024;
-  hog.job.queue_depth = 32;
-  hog.job.write_ratio = 1.0;
-  hog.job.duration = duration;
-  hog.job.seed = opt.seed ^ 0x5109;
+  hog.load.job.name = "hog-randwrite";
+  hog.load.job.pattern = wl::AccessPattern::kRandom;
+  hog.load.job.io_bytes = 256 * 1024;
+  hog.load.job.queue_depth = 32;
+  hog.load.job.write_ratio = 1.0;
+  hog.load.job.duration = duration;
+  hog.load.job.seed = opt.seed ^ 0x5109;
+  // Replay form: ~2.6 GB/s of bursty offered 256 KiB writes against the
+  // ~3.1 GB/s shared uplink — the hog floods open-loop too.
+  if (opt.replay) to_replay(hog, 10000.0, 6000.0, 0.3);
   b.tenants.push_back(hog);
 
   for (int i = 0; i < 2; ++i) {
@@ -95,13 +112,16 @@ Built build_noisy_neighbor(const ScenarioOptions& opt) {
     victim.capacity_bytes = cap;
     victim.qos = qos_budget(1.0e9, 0.05);
     victim.precondition_bytes = cap;  // reads must hit media, not zeros
-    victim.job.name = victim.name + "-qd1-read";
-    victim.job.pattern = wl::AccessPattern::kRandom;
-    victim.job.io_bytes = 4096;
-    victim.job.queue_depth = 1;
-    victim.job.write_ratio = 0.0;
-    victim.job.duration = duration;
-    victim.job.seed = opt.seed ^ (0xace0ull + static_cast<unsigned>(i));
+    victim.load.job.name = victim.name + "-qd1-read";
+    victim.load.job.pattern = wl::AccessPattern::kRandom;
+    victim.load.job.io_bytes = 4096;
+    victim.load.job.queue_depth = 1;
+    victim.load.job.write_ratio = 0.0;
+    victim.load.job.duration = duration;
+    victim.load.job.seed = opt.seed ^ (0xace0ull + static_cast<unsigned>(i));
+    // Replay form: a light, steady 4 KiB read stream — latency-sensitive,
+    // nowhere near its own budget, so any slowdown is the hog's doing.
+    if (opt.replay) to_replay(victim, 1500.0, 0.0, 0.0);
     b.tenants.push_back(victim);
   }
   return b;
@@ -118,13 +138,16 @@ Built build_fair_share(const ScenarioOptions& opt) {
     t.name = std::string("tenant-") + static_cast<char>('a' + i);
     t.capacity_bytes = cap;
     t.qos = qos_budget(0.35e9, 0.05);
-    t.job.name = t.name + "-randwrite";
-    t.job.pattern = wl::AccessPattern::kRandom;
-    t.job.io_bytes = 64 * 1024;
-    t.job.queue_depth = 8;
-    t.job.write_ratio = 1.0;
-    t.job.duration = duration;
-    t.job.seed = opt.seed ^ (0xfa1ull + static_cast<unsigned>(i));
+    t.load.job.name = t.name + "-randwrite";
+    t.load.job.pattern = wl::AccessPattern::kRandom;
+    t.load.job.io_bytes = 64 * 1024;
+    t.load.job.queue_depth = 8;
+    t.load.job.write_ratio = 1.0;
+    t.load.job.duration = duration;
+    t.load.job.seed = opt.seed ^ (0xfa1ull + static_cast<unsigned>(i));
+    // Replay form: three identical ~0.26 GB/s 64 KiB write streams with
+    // mild bursts — the healthy-colocation mix, open loop.
+    if (opt.replay) to_replay(t, 4000.0, 8000.0, 0.1);
     b.tenants.push_back(std::move(t));
   }
   return b;
@@ -142,13 +165,17 @@ Built build_cleaner_pressure(const ScenarioOptions& opt) {
     t.name = std::string("overwriter-") + static_cast<char>('a' + i);
     t.capacity_bytes = cap;
     t.qos = qos_budget(250.0e6, 0.05);  // well under budget individually
-    t.job.name = t.name + "-overwrite";
-    t.job.pattern = wl::AccessPattern::kRandom;
-    t.job.io_bytes = 256 * 1024;
-    t.job.queue_depth = 16;
-    t.job.write_ratio = 1.0;
-    t.job.duration = duration;
-    t.job.seed = opt.seed ^ (0xc1eaull + static_cast<unsigned>(i));
+    t.load.job.name = t.name + "-overwrite";
+    t.load.job.pattern = wl::AccessPattern::kRandom;
+    t.load.job.io_bytes = 256 * 1024;
+    t.load.job.queue_depth = 16;
+    t.load.job.write_ratio = 1.0;
+    t.load.job.duration = duration;
+    t.load.job.seed = opt.seed ^ (0xc1eaull + static_cast<unsigned>(i));
+    // Replay form: ~235 MB/s of steady 256 KiB overwrites per tenant —
+    // each fits under its budget and the cleaner solo, the aggregate does
+    // not, exactly the closed-loop story.
+    if (opt.replay) to_replay(t, 900.0, 0.0, 0.0);
     b.tenants.push_back(std::move(t));
   }
   return b;
@@ -167,13 +194,17 @@ Built build_burst_collision(const ScenarioOptions& opt) {
     t.capacity_bytes = cap;
     // One full second of budget banked as burst credit, all cashed at t=0.
     t.qos = qos_budget(0.4e9, 1.0);
-    t.job.name = t.name + "-burstwrite";
-    t.job.pattern = wl::AccessPattern::kRandom;
-    t.job.io_bytes = 128 * 1024;
-    t.job.queue_depth = 16;
-    t.job.write_ratio = 1.0;
-    t.job.duration = duration;
-    t.job.seed = opt.seed ^ (0xb1a57ull + static_cast<unsigned>(i));
+    t.load.job.name = t.name + "-burstwrite";
+    t.load.job.pattern = wl::AccessPattern::kRandom;
+    t.load.job.io_bytes = 128 * 1024;
+    t.load.job.queue_depth = 16;
+    t.load.job.write_ratio = 1.0;
+    t.load.job.duration = duration;
+    t.load.job.seed = opt.seed ^ (0xb1a57ull + static_cast<unsigned>(i));
+    // Replay form: ~0.32 GB/s base per tenant with hard superimposed
+    // bursts — the arrival-process version of everyone cashing burst
+    // credits at once.
+    if (opt.replay) to_replay(t, 2500.0, 10000.0, 0.5);
     b.tenants.push_back(std::move(t));
   }
   return b;
@@ -206,6 +237,17 @@ ScenarioSetup build_scenario(Scenario s, const ScenarioOptions& opt) {
   for (std::size_t i = 0; i < opt.weights.size() && i < b.tenants.size(); ++i) {
     b.tenants[i].weight = opt.weights[i];
   }
+  if (opt.replay) {
+    for (std::size_t i = 0; i < b.tenants.size(); ++i) {
+      wl::LoadSpec& load = b.tenants[i].load;
+      load.open_loop = true;  // builders already derived a gen per role
+      if (i < opt.trace_paths.size() && !opt.trace_paths[i].empty()) {
+        load.trace_path = opt.trace_paths[i];
+      }
+      load.rate_scale = opt.rate_scale;
+      load.max_events = opt.replay_events;
+    }
+  }
   return b;
 }
 
@@ -227,6 +269,8 @@ ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt) {
   result.cleaner = colocated.cleaner;
   result.fabric = colocated.fabric;
   result.colocated = std::move(colocated.stats);
+  result.backlog_peak = std::move(colocated.backlog_peak);
+  result.traces = std::move(colocated.traces);
 
   if (opt.solo_baselines) {
     result.solo.reserve(b.tenants.size());

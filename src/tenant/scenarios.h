@@ -34,6 +34,7 @@
 #include "sched/sched.h"
 #include "tenant/fairness.h"
 #include "tenant/tenant.h"
+#include "workload/trace.h"
 
 namespace uc::tenant {
 
@@ -62,6 +63,18 @@ struct ScenarioOptions {
   /// Optional per-tenant WFQ weight overrides, applied by tenant index
   /// (missing entries keep the scenario's default of 1.0).
   std::vector<double> weights;
+
+  /// Open-loop replay study: every tenant's closed-loop job is replaced by
+  /// a `wl::TraceReplayer` — fed by `trace_paths[i]` (index-matched CSVs;
+  /// missing or empty entries fall back to a synthetic trace the scenario
+  /// derives from that tenant's role) — submitted at `rate_scale`x the
+  /// trace's recorded arrival rate.  Solo baselines replay the same trace
+  /// alone, so interference ratios stay meaningful.
+  bool replay = false;
+  std::vector<std::string> trace_paths;
+  double rate_scale = 1.0;
+  /// Optional per-tenant cap on replayed events (0 = whole trace).
+  std::uint64_t replay_events = 0;
 };
 
 struct ScenarioResult {
@@ -69,6 +82,10 @@ struct ScenarioResult {
   std::vector<TenantSpec> tenants;
   std::vector<wl::JobStats> colocated;
   std::vector<wl::JobStats> solo;  ///< empty when baselines disabled
+  /// Per-tenant peak outstanding I/Os and replayed-trace summaries (the
+  /// latter zero-event for closed-loop tenants); see `HostResult`.
+  std::vector<std::uint64_t> backlog_peak;
+  std::vector<wl::TraceSummary> traces;
   FairnessReport report;
   /// Shared-cluster activity during the measured window (precondition fill
   /// excluded), so the numbers diff cleanly across runs and PRs.

@@ -41,20 +41,20 @@ SharedClusterHost::SharedClusterHost(sim::Simulator& sim,
   }
   cluster_ = std::make_unique<ebs::StorageCluster>(sim_, base_.cluster);
   devices_.reserve(tenants_.size());
-  runners_.reserve(tenants_.size());
+  sources_.reserve(tenants_.size());
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     const TenantSpec& t = tenants_[i];
     const ebs::VolumeId vol = cluster_->attach_volume(t.capacity_bytes);
     devices_.push_back(std::make_unique<essd::EssdDevice>(
         sim_, tenant_config(base_, t, i), *cluster_, vol));
-    runners_.push_back(
-        std::make_unique<wl::JobRunner>(sim_, *devices_.back(), t.job));
+    sources_.push_back(wl::make_load_source_or_die(sim_, *devices_.back(),
+                                                   t.load, "tenant " + t.name));
   }
 }
 
 namespace {
 
-// Sequential fill covering the measured job's region, capped by the spec's
+// Sequential fill covering the measured load's region, capped by the spec's
 // `precondition_bytes`.
 wl::JobSpec precondition_spec(const TenantSpec& t) {
   wl::JobSpec spec;
@@ -63,10 +63,10 @@ wl::JobSpec precondition_spec(const TenantSpec& t) {
   spec.io_bytes = 256 * 1024;
   spec.queue_depth = 16;
   spec.write_ratio = 1.0;
-  spec.region_offset = t.job.region_offset;
-  spec.region_bytes = t.job.region_bytes;
+  spec.region_offset = t.load.precondition_offset();
+  spec.region_bytes = t.load.precondition_region_bytes();
   spec.total_bytes = t.precondition_bytes;
-  spec.seed = t.job.seed ^ 0x9c0d171051ull;
+  spec.seed = t.load.job.seed ^ 0x9c0d171051ull;
   return spec;
 }
 
@@ -97,14 +97,16 @@ HostResult SharedClusterHost::run() {
   const ebs::ClusterStats cluster_before = cluster_->stats();
   const ebs::CleanerStats cleaner_before = cluster_->cleaner().stats();
   const net::FabricStats fabric_before = cluster_->fabric().stats();
-  for (auto& runner : runners_) runner->start();
+  for (auto& source : sources_) source->start();
   sim_.run();
-  result.stats.reserve(runners_.size());
-  for (auto& runner : runners_) {
-    UC_ASSERT(runner->finished(), "simulator drained but a tenant job hung");
-    result.stats.push_back(runner->stats());
-    if (runner->stats().last_complete > result.makespan) {
-      result.makespan = runner->stats().last_complete;
+  result.stats.reserve(sources_.size());
+  for (auto& source : sources_) {
+    UC_ASSERT(source->finished(), "simulator drained but a tenant load hung");
+    result.stats.push_back(source->stats());
+    result.backlog_peak.push_back(source->backlog_peak());
+    result.traces.push_back(wl::load_source_trace_summary(*source));
+    if (source->stats().last_complete > result.makespan) {
+      result.makespan = source->stats().last_complete;
     }
   }
   result.cluster = subtract(cluster_->stats(), cluster_before);
@@ -121,7 +123,7 @@ wl::JobStats SharedClusterHost::run_solo(const essd::EssdConfig& base,
   const std::vector<TenantSpec> one = {spec};
   run_preconditions(sim, one,
                     [&device](std::size_t) -> BlockDevice& { return device; });
-  return wl::JobRunner::run_to_completion(sim, device, spec.job);
+  return wl::run_load_to_completion(sim, device, spec.load);
 }
 
 }  // namespace uc::tenant

@@ -8,8 +8,9 @@
 /// — exist because real EBS clusters multiplex many tenants over shared
 /// nodes, fabric, and spare capacity.  `SharedClusterHost` builds that
 /// colocation: one cluster, one fabric, one segment pool and cleaner, and a
-/// per-tenant `EssdDevice` (own QoS gate and frontend) + `JobRunner` per
-/// attached volume, all advancing on one simulator.
+/// per-tenant `EssdDevice` (own QoS gate and frontend) + `wl::LoadSource`
+/// (closed-loop job or open-loop trace replay) per attached volume, all
+/// advancing on one simulator.
 
 #include <cstddef>
 #include <cstdint>
@@ -22,18 +23,22 @@
 #include "ebs/cluster.h"
 #include "essd/essd_device.h"
 #include "essd/qos.h"
+#include "workload/load_source.h"
 #include "workload/runner.h"
 #include "workload/spec.h"
+#include "workload/trace.h"
 
 namespace uc::tenant {
 
 /// One tenant: a volume of `capacity_bytes`, a provisioned QoS profile, and
-/// the workload the tenant runs against it.
+/// the load the tenant offers against it — a closed-loop job (the default)
+/// or an open-loop trace replay (`load.open_loop`, per-tenant trace file or
+/// generator config; see workload/load_source.h).
 struct TenantSpec {
   std::string name = "tenant";
   std::uint64_t capacity_bytes = 0;
   essd::QosConfig qos;
-  wl::JobSpec job;
+  wl::LoadSpec load;
 
   /// Fair-queueing weight at every shared cluster resource (WFQ policy
   /// only); the host folds these into `cluster.sched.weights` by VolumeId.
@@ -49,6 +54,12 @@ struct TenantSpec {
 /// Per-tenant outcome of a colocated (or solo-baseline) run.
 struct HostResult {
   std::vector<wl::JobStats> stats;  ///< per tenant, in spec order
+  /// Peak outstanding I/Os per tenant: the queue depth for closed-loop
+  /// tenants, the open-loop backlog for replayed ones.
+  std::vector<std::uint64_t> backlog_peak;
+  /// Per-tenant replayed-trace summaries (zero `events` for closed-loop
+  /// tenants) — the contract replay checker's input.
+  std::vector<wl::TraceSummary> traces;
   SimTime makespan = 0;             ///< latest completion across tenants
   SimTime measure_start = 0;        ///< when measured jobs began (after fill)
   /// Cluster/cleaner/fabric activity within the measured window only — the
@@ -69,7 +80,7 @@ void run_preconditions(sim::Simulator& sim,
 
 /// Builds the shared cluster from `base.cluster` (so `spare_pool_bytes` is
 /// the *cluster-wide* headroom), attaches one volume per tenant, and runs
-/// every tenant's job concurrently on the host's simulator.  Frontend and
+/// every tenant's load concurrently on the host's simulator.  Frontend and
 /// cluster latency parameters come from `base`; capacity, QoS, and workload
 /// come from each `TenantSpec`.  The scheduling policy knob is
 /// `base.cluster.sched` (+ `base.sched` for the device-local queues); the
@@ -80,8 +91,8 @@ class SharedClusterHost {
   SharedClusterHost(sim::Simulator& sim, const essd::EssdConfig& base,
                     std::vector<TenantSpec> tenants);
 
-  /// Starts every tenant's runner, drains the simulator, and collects the
-  /// per-tenant stats.
+  /// Starts every tenant's load source, drains the simulator, and collects
+  /// the per-tenant stats.
   HostResult run();
 
   std::size_t tenant_count() const { return tenants_.size(); }
@@ -107,7 +118,7 @@ class SharedClusterHost {
   std::vector<TenantSpec> tenants_;
   std::unique_ptr<ebs::StorageCluster> cluster_;
   std::vector<std::unique_ptr<essd::EssdDevice>> devices_;
-  std::vector<std::unique_ptr<wl::JobRunner>> runners_;
+  std::vector<std::unique_ptr<wl::LoadSource>> sources_;
   bool ran_ = false;
 };
 

@@ -1,5 +1,7 @@
 #include "workload/runner.h"
 
+#include <algorithm>
+
 #include "common/strfmt.h"
 
 namespace uc::wl {
@@ -69,6 +71,8 @@ void JobRunner::issue_one() {
   ++issued_ops_;
   issued_bytes_ += req.bytes;
   ++outstanding_;
+  backlog_peak_ =
+      std::max(backlog_peak_, static_cast<std::uint64_t>(outstanding_));
   device_.submit(req, [this](const IoResult& r) { on_complete(r); });
 }
 

@@ -24,6 +24,11 @@ struct JobStats {
   LatencyHistogram read_latency;
   LatencyHistogram write_latency;
   LatencyHistogram all_latency;
+  /// Open-loop replay only: per-op completion time minus the op's *intended*
+  /// (rate-scaled) trace arrival — the response time including any backlog
+  /// the open loop built up.  Empty for closed-loop runs, where the queue
+  /// depth bounds the backlog and `all_latency` already tells the story.
+  LatencyHistogram slowdown;
   ThroughputTimeline timeline{units::kSec};
 
   std::uint64_t read_ops = 0;
@@ -51,16 +56,45 @@ struct JobStats {
   }
 };
 
-class JobRunner {
+/// The uniform driver interface over every workload generator: the
+/// closed-loop `JobRunner` below (FIO semantics, `queue_depth` outstanding)
+/// and the open-loop `TraceReplayer` (arrival-timestamped submission,
+/// unbounded queue growth) both implement it, so every consumer — tenant
+/// hosts, placement hosts, benches — drives "a load" without caring which
+/// loop it is.  Build one from a `wl::LoadSpec` via `make_load_source()`
+/// (workload/load_source.h).
+class LoadSource {
+ public:
+  virtual ~LoadSource() = default;
+
+  /// Begins issuing; progress is driven by simulator events.
+  virtual void start() = 0;
+  virtual bool finished() const = 0;
+  virtual const JobStats& stats() const = 0;
+
+  /// Open loop = submissions follow trace arrival times regardless of
+  /// completions; closed loop = a fixed queue depth paces submissions.
+  virtual bool open_loop() const = 0;
+
+  /// Most I/Os ever outstanding at once.  Closed loop: bounded by the queue
+  /// depth.  Open loop: the backlog an overloaded device accumulated — the
+  /// burst signal Implication 4's smoothing removes.
+  virtual std::uint64_t backlog_peak() const = 0;
+};
+
+class JobRunner : public LoadSource {
  public:
   JobRunner(sim::Simulator& sim, BlockDevice& device, const JobSpec& spec);
 
-  /// Begins issuing; progress is driven by simulator events.
-  void start();
+  void start() override;
 
-  bool finished() const { return stopped_issuing_ && outstanding_ == 0; }
-  const JobStats& stats() const { return stats_; }
+  bool finished() const override {
+    return stopped_issuing_ && outstanding_ == 0;
+  }
+  const JobStats& stats() const override { return stats_; }
   const JobSpec& spec() const { return spec_; }
+  bool open_loop() const override { return false; }
+  std::uint64_t backlog_peak() const override { return backlog_peak_; }
 
   /// Convenience: start the job and run the simulator until it finishes
   /// (plus any background activity it triggered).
@@ -82,6 +116,7 @@ class JobRunner {
   std::uint64_t issued_bytes_ = 0;
   SimTime deadline_ = kNoTime;
   int outstanding_ = 0;
+  std::uint64_t backlog_peak_ = 0;
   bool stopped_issuing_ = false;
   bool started_ = false;
   IoId next_id_ = 1;

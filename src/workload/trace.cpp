@@ -105,6 +105,62 @@ double trace_peak_to_mean(const std::vector<TraceEvent>& trace) {
   return mean == 0.0 ? 0.0 : static_cast<double>(peak) / mean;
 }
 
+TraceSummary summarize_trace(const std::vector<TraceEvent>& trace,
+                             double rate_scale) {
+  UC_ASSERT(rate_scale > 0.0, "rate_scale must be positive");
+  TraceSummary s;
+  s.events = trace.size();
+  const SimTime bin = 100 * units::kMs;
+  std::vector<std::uint64_t> event_bins;
+  std::vector<std::uint64_t> byte_bins;
+  std::uint64_t small_bytes = 0;
+  for (const auto& ev : trace) {
+    const auto scaled =
+        static_cast<SimTime>(static_cast<double>(ev.arrival) / rate_scale);
+    s.span_ns = std::max(s.span_ns, scaled);
+    s.total_bytes += ev.bytes;
+    if (ev.op == IoOp::kWrite) s.write_bytes += ev.bytes;
+    if (ev.bytes < 64 * 1024) small_bytes += ev.bytes;
+    const auto b = static_cast<std::size_t>(scaled / bin);
+    if (b >= event_bins.size()) {
+      event_bins.resize(b + 1, 0);
+      byte_bins.resize(b + 1, 0);
+    }
+    ++event_bins[b];
+    byte_bins[b] += ev.bytes;
+  }
+  const auto peak_over_mean = [](const std::vector<std::uint64_t>& bins) {
+    std::uint64_t total = 0;
+    std::uint64_t peak = 0;
+    for (const auto c : bins) {
+      total += c;
+      peak = std::max(peak, c);
+    }
+    if (total == 0) return 0.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(bins.size());
+    return static_cast<double>(peak) / mean;
+  };
+  s.peak_to_mean = peak_over_mean(event_bins);
+  s.byte_peak_to_mean = peak_over_mean(byte_bins);
+  s.small_io_byte_fraction =
+      s.total_bytes == 0 ? 0.0
+                         : static_cast<double>(small_bytes) /
+                               static_cast<double>(s.total_bytes);
+  return s;
+}
+
+TraceSummary load_source_trace_summary(const LoadSource& source) {
+  // A future open-loop implementation that is not a TraceReplayer (the
+  // ROADMAP's bounded-submission client) simply reports a zero-event
+  // summary instead of tripping undefined behavior.
+  const auto* replayer = dynamic_cast<const TraceReplayer*>(&source);
+  if (replayer == nullptr) return {};
+  // Summarized at the replay's own rate scale: the summary describes the
+  // load as offered, which is what the contract checker judges.
+  return summarize_trace(replayer->trace(), replayer->rate_scale());
+}
+
 Status save_trace_csv(const std::vector<TraceEvent>& trace,
                       const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -203,16 +259,28 @@ Result<std::vector<TraceEvent>> load_trace_csv(const std::string& path) {
 }
 
 TraceReplayer::TraceReplayer(sim::Simulator& sim, BlockDevice& device,
-                             std::vector<TraceEvent> trace)
-    : sim_(sim), device_(device), trace_(std::move(trace)) {
+                             std::vector<TraceEvent> trace,
+                             const ReplayOptions& opt)
+    : sim_(sim), device_(device), trace_(std::move(trace)), opt_(opt) {
   UC_ASSERT(std::is_sorted(trace_.begin(), trace_.end(),
                            [](const TraceEvent& a, const TraceEvent& b) {
                              return a.arrival < b.arrival;
                            }),
             "trace must be arrival-ordered");
+  UC_ASSERT(opt_.rate_scale > 0.0, "rate_scale must be positive");
+  if (opt_.max_events > 0 && trace_.size() > opt_.max_events) {
+    trace_.resize(opt_.max_events);
+  }
+}
+
+SimTime TraceReplayer::scaled(SimTime arrival) const {
+  if (opt_.rate_scale == 1.0) return arrival;
+  return static_cast<SimTime>(static_cast<double>(arrival) / opt_.rate_scale);
 }
 
 void TraceReplayer::start() {
+  UC_ASSERT(!started_, "replay already started");
+  started_ = true;
   t0_ = sim_.now();
   stats_.first_submit = sim_.now();
   schedule_next();
@@ -221,15 +289,20 @@ void TraceReplayer::start() {
 void TraceReplayer::schedule_next() {
   if (submitted_ >= trace_.size()) return;
   const TraceEvent& ev = trace_[submitted_];
-  sim_.schedule_at(t0_ + ev.arrival, [this, ev] {
+  const SimTime intended = t0_ + scaled(ev.arrival);
+  sim_.schedule_at(intended, [this, ev, intended] {
     ++submitted_;
     ++inflight_;
     max_inflight_ = std::max(max_inflight_, inflight_);
     IoRequest req{next_id_++, ev.op, ev.offset, ev.bytes};
-    device_.submit(req, [this](const IoResult& r) {
+    device_.submit(req, [this, intended](const IoResult& r) {
       --inflight_;
       const SimTime lat = r.latency();
       stats_.all_latency.record(lat);
+      // Slowdown clock: against the *intended* arrival, so host-side
+      // submission delay (a frozen device, a future bounded submitter)
+      // counts against the op just like device-side queueing does.
+      stats_.slowdown.record(r.complete_time - intended);
       if (r.op == IoOp::kWrite) {
         stats_.write_latency.record(lat);
         ++stats_.write_ops;

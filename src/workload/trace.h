@@ -68,35 +68,97 @@ std::vector<TraceEvent> generate_trace(const TraceGenConfig& cfg,
 /// the smoothing experiment reports.
 double trace_peak_to_mean(const std::vector<TraceEvent>& trace);
 
+/// Shape of a trace at a glance — the inputs the contract replay checker
+/// (`contract::evaluate_replay`) judges a replay run against.
+struct TraceSummary {
+  std::uint64_t events = 0;
+  SimTime span_ns = 0;  ///< last arrival (the trace's own timeline length)
+  std::uint64_t total_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  /// Peak/mean of per-100ms *arrival counts* (IOPS burstiness) and of
+  /// per-100ms *arriving bytes* (throughput burstiness).  They diverge
+  /// when bursts have a different size mix than the base load — small-I/O
+  /// storms spike the first, a few huge I/Os spike the second — and the
+  /// budget rules must judge bytes against a byte budget.
+  double peak_to_mean = 0.0;
+  double byte_peak_to_mean = 0.0;
+  /// Fraction of *bytes* moved by I/Os smaller than 64 KiB — the "did you
+  /// scale your I/Os up" signal of Implication 1.
+  double small_io_byte_fraction = 0.0;
+
+  double offered_gbs() const {
+    return span_ns == 0 ? 0.0
+                        : static_cast<double>(total_bytes) /
+                              static_cast<double>(span_ns);
+  }
+  double offered_iops() const {
+    return span_ns == 0 ? 0.0
+                        : static_cast<double>(events) * 1e9 /
+                              static_cast<double>(span_ns);
+  }
+};
+
+/// Summarizes the trace as it would be *offered* at `rate_scale`x its
+/// recorded pace: arrivals are compressed before binning, so the windowed
+/// peak-to-mean ratios are those of the time-warped replay, not the
+/// original timeline's.
+TraceSummary summarize_trace(const std::vector<TraceEvent>& trace,
+                             double rate_scale = 1.0);
+
+/// The summary of the trace an open-loop source is replaying; a zero-event
+/// summary for closed-loop sources and for open-loop implementations other
+/// than `TraceReplayer`.
+TraceSummary load_source_trace_summary(const LoadSource& source);
+
 Status save_trace_csv(const std::vector<TraceEvent>& trace,
                       const std::string& path);
 Result<std::vector<TraceEvent>> load_trace_csv(const std::string& path);
 
-/// Open-loop replay: submissions happen at trace arrival times regardless
-/// of completions (queue growth is the burst signal the smoother removes).
-class TraceReplayer {
+struct ReplayOptions {
+  /// Time-warp: arrival timestamps are divided by this, so 2.0 offers the
+  /// trace's load at twice its recorded rate (the overload lever).
+  double rate_scale = 1.0;
+  /// Replay only the first N events (0 = the whole trace).
+  std::uint64_t max_events = 0;
+};
+
+/// Open-loop replay: submissions happen at (rate-scaled) trace arrival
+/// times regardless of completions — queue growth is the burst signal the
+/// smoother removes, and `stats().slowdown` records each op's completion
+/// delay against its intended arrival (per-op slowdown accounting).
+class TraceReplayer : public LoadSource {
  public:
   TraceReplayer(sim::Simulator& sim, BlockDevice& device,
-                std::vector<TraceEvent> trace);
+                std::vector<TraceEvent> trace, const ReplayOptions& opt = {});
 
-  void start();
-  bool finished() const { return submitted_ == trace_.size() && inflight_ == 0; }
+  void start() override;
+  bool finished() const override {
+    return started_ && submitted_ == trace_.size() && inflight_ == 0;
+  }
 
-  const JobStats& stats() const { return stats_; }
+  const JobStats& stats() const override { return stats_; }
+  bool open_loop() const override { return true; }
+  std::uint64_t backlog_peak() const override { return max_inflight_; }
   std::uint64_t max_inflight() const { return max_inflight_; }
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  double rate_scale() const { return opt_.rate_scale; }
 
  private:
   void schedule_next();
+  /// `arrival / rate_scale`, the submission clock of the replay.
+  SimTime scaled(SimTime arrival) const;
 
   sim::Simulator& sim_;
   BlockDevice& device_;
   std::vector<TraceEvent> trace_;
+  ReplayOptions opt_;
   JobStats stats_;
   std::size_t submitted_ = 0;
   std::uint64_t inflight_ = 0;
   std::uint64_t max_inflight_ = 0;
   SimTime t0_ = 0;
   IoId next_id_ = 1;
+  bool started_ = false;
 };
 
 }  // namespace uc::wl

@@ -79,7 +79,7 @@ tenant::HostResult run_three_tenants(std::uint64_t seed) {
     tenants[static_cast<std::size_t>(i)].name = "t" + std::to_string(i);
     tenants[static_cast<std::size_t>(i)].capacity_bytes = 64 * kMiB;
     tenants[static_cast<std::size_t>(i)].qos.bw_bytes_per_s = 1.0e9;
-    auto& job = tenants[static_cast<std::size_t>(i)].job;
+    auto& job = tenants[static_cast<std::size_t>(i)].load.job;
     job.pattern =
         i == 2 ? wl::AccessPattern::kSequential : wl::AccessPattern::kRandom;
     job.io_bytes = i == 0 ? 4096u : 65536u;

@@ -31,11 +31,11 @@ tenant::TenantSpec small_tenant(const char* name, std::uint64_t cap,
   t.name = name;
   t.capacity_bytes = cap;
   t.qos.bw_bytes_per_s = 1.0e9;
-  t.job.pattern = wl::AccessPattern::kRandom;
-  t.job.io_bytes = 16384;
-  t.job.queue_depth = 4;
-  t.job.total_ops = ops;
-  t.job.seed = seed;
+  t.load.job.pattern = wl::AccessPattern::kRandom;
+  t.load.job.io_bytes = 16384;
+  t.load.job.queue_depth = 4;
+  t.load.job.total_ops = ops;
+  t.load.job.seed = seed;
   return t;
 }
 
@@ -271,6 +271,10 @@ TEST(MultiClusterHost, WatermarkMigrationRebalancesPackedPlacement) {
   tenants.push_back(small_tenant("t1", 64 * kMiB, 3000, 22));
   tenants.push_back(small_tenant("t2", 64 * kMiB, 3000, 23));
 
+  // Non-default WFQ weights: the migrated-in volume must carry its
+  // tenant's weight to the target cluster (re-registration fix).
+  for (auto& t : tenants) t.weight = 2.5;
+
   placement::PlacementConfig cfg;
   cfg.clusters = 2;
   cfg.policy = placement::Policy::kPack;  // unbounded: all on cluster 0
@@ -292,6 +296,11 @@ TEST(MultiClusterHost, WatermarkMigrationRebalancesPackedPlacement) {
   EXPECT_GT(mig.stats.pages_copied, 0u);
   EXPECT_GT(mig.stats.cutover, 0u);
   EXPECT_EQ(result.final_cluster[mig.tenant], 1);
+  // The target cluster was built with an empty weight fold (nothing was
+  // planned onto it); the migrated-in volume must still carry its tenant's
+  // 2.5 WFQ weight instead of falling back to default_weight.
+  EXPECT_DOUBLE_EQ(
+      host.cluster(1).config().sched.weight(host.volume_of(mig.tenant)), 2.5);
 
   int on_cluster1 = 0;
   for (const int c : result.final_cluster) on_cluster1 += c == 1 ? 1 : 0;

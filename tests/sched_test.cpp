@@ -264,7 +264,7 @@ TEST(SchedulingPolicies, WfqWeightsSkewThroughputShares) {
     tenants[static_cast<std::size_t>(i)].capacity_bytes = 64 * kMiB;
     tenants[static_cast<std::size_t>(i)].qos.bw_bytes_per_s = 8.0e9;
     tenants[static_cast<std::size_t>(i)].qos.iops = 1e6;
-    auto& job = tenants[static_cast<std::size_t>(i)].job;
+    auto& job = tenants[static_cast<std::size_t>(i)].load.job;
     job.pattern = wl::AccessPattern::kRandom;
     job.io_bytes = 256 * 1024;
     job.queue_depth = 16;

@@ -132,11 +132,11 @@ TEST(SharedClusterHost, RunsTenantsConcurrently) {
     tenants[i].name = i == 0 ? "t0" : "t1";
     tenants[i].capacity_bytes = 64 * kMiB;
     tenants[i].qos.bw_bytes_per_s = 1.0e9;
-    tenants[i].job.pattern = wl::AccessPattern::kRandom;
-    tenants[i].job.io_bytes = 16384;
-    tenants[i].job.queue_depth = 4;
-    tenants[i].job.total_ops = 500;
-    tenants[i].job.seed = 11 + i;
+    tenants[i].load.job.pattern = wl::AccessPattern::kRandom;
+    tenants[i].load.job.io_bytes = 16384;
+    tenants[i].load.job.queue_depth = 4;
+    tenants[i].load.job.total_ops = 500;
+    tenants[i].load.job.seed = 11 + i;
   }
   sim::Simulator sim;
   tenant::SharedClusterHost host(sim, base, tenants);
