@@ -25,6 +25,7 @@
 // deliberately packed placement.  Spread must beat pack on victim tails.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -259,6 +260,7 @@ int main(int argc, char** argv) {
   bool want_prio = true;
   bool sched_given = false;
   int clusters = 1;
+  int threads = 1;
   std::vector<placement::Policy> placements;
   std::vector<double> weights;
   bool trace_gen = false;
@@ -284,6 +286,13 @@ int main(int argc, char** argv) {
       clusters = std::atoi(argv[i + 1]);
       if (clusters < 1) {
         std::fprintf(stderr, "error: --clusters wants a positive count\n");
+        return 2;
+      }
+      ++i;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[i + 1]);
+      if (threads < 1) {
+        std::fprintf(stderr, "error: --threads wants a positive count\n");
         return 2;
       }
       ++i;
@@ -362,6 +371,7 @@ int main(int argc, char** argv) {
   tenant::ScenarioOptions opt;
   opt.quick = scale.quick;
   opt.weights = weights;
+  opt.threads = threads;
 
   // The policy study covers the three contention scenarios; burst-collision
   // is a QoS-credit phenomenon the data-path scheduler cannot see, so it
@@ -446,8 +456,23 @@ int main(int argc, char** argv) {
   bench::Json placement_json = bench::Json::object();
   if (clusters > 1) {
     placement::PlacementScenarioOptions popt;
-    popt.base = opt;
+    popt.base = opt;  // carries --threads into the sharded-host path
     popt.placement.clusters = clusters;
+
+    // Wall time and simulator events across every placement run below —
+    // the parallel engine's events/sec numbers for this bench.
+    double study_wall_s = 0.0;
+    std::uint64_t study_sim_events = 0;
+    const auto run_timed = [&](tenant::Scenario s,
+                               const placement::PlacementScenarioOptions& o) {
+      const auto start = std::chrono::steady_clock::now();
+      auto r = placement::run_placement_scenario(s, o);
+      study_wall_s += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      study_sim_events += r.sim_events;
+      return r;
+    };
 
     const std::vector<tenant::Scenario> placement_study = {
         tenant::Scenario::kNoisyNeighbor, tenant::Scenario::kFairShare};
@@ -461,7 +486,7 @@ int main(int argc, char** argv) {
       pol.set("placement", placement::policy_name(p));
       bench::Json pol_scenarios = bench::Json::array();
       for (const tenant::Scenario s : placement_study) {
-        const auto result = placement::run_placement_scenario(s, popt);
+        const auto result = run_timed(s, popt);
         print_placement_scenario(placement::policy_name(p), result);
         if (s == tenant::Scenario::kNoisyNeighbor) {
           const double victims = mean_victim_interference(result.report);
@@ -494,15 +519,15 @@ int main(int argc, char** argv) {
     placement::PlacementScenarioOptions packed = popt;
     packed.placement.policy = placement::Policy::kPack;
     packed.placement.pack_limit_bytes = 0;  // deliberately imbalanced
-    const auto congested = placement::run_placement_scenario(
-        tenant::Scenario::kCleanerPressure, packed);
+    const auto congested =
+        run_timed(tenant::Scenario::kCleanerPressure, packed);
     print_placement_scenario("pack", congested);
 
     placement::PlacementScenarioOptions relief = packed;
     relief.placement.rebalance_watermark = 1.25;
     relief.placement.rebalance_interval = 10 * units::kMs;
-    const auto relieved = placement::run_placement_scenario(
-        tenant::Scenario::kCleanerPressure, relief);
+    const auto relieved =
+        run_timed(tenant::Scenario::kCleanerPressure, relief);
     print_placement_scenario("pack+migration", relieved);
 
     const auto total_stall_ms = [](const placement::PlacementScenarioResult&
@@ -532,6 +557,26 @@ int main(int argc, char** argv) {
     relief_json.set("migrations",
                     static_cast<std::uint64_t>(relieved.migrations.size()));
     placement_json.set("migration_relief", std::move(relief_json));
+
+    // Parallel-engine trajectory for this bench: only a --threads > 1 run
+    // grows the envelope (the default stays byte-identical).
+    if (threads > 1) {
+      const double eps =
+          study_wall_s > 0.0
+              ? static_cast<double>(study_sim_events) / study_wall_s
+              : 0.0;
+      std::printf(
+          "\nparallel: placement study on %d threads — wall %.2f s, %llu "
+          "sim events, %.0f events/sec\n",
+          threads, study_wall_s,
+          static_cast<unsigned long long>(study_sim_events), eps);
+      bench::Json par = bench::Json::object();
+      par.set("threads", threads);
+      par.set("wall_s", study_wall_s);
+      par.set("sim_events", study_sim_events);
+      par.set("events_per_sec", eps);
+      placement_json.set("parallel", std::move(par));
+    }
   }
 
   // --------------------------------------------------- replay study --
@@ -551,8 +596,9 @@ int main(int argc, char** argv) {
     const std::vector<tenant::Scenario> replay_study = {
         tenant::Scenario::kNoisyNeighbor, tenant::Scenario::kFairShare};
     bench::Json replay_scenarios = bench::Json::array();
+    std::vector<tenant::ScenarioResult> replay_fifo;
     for (const tenant::Scenario s : replay_study) {
-      const auto result = tenant::run_scenario(s, ropt);
+      auto result = tenant::run_scenario(s, ropt);
       std::printf("\n--- %s [replay, rate-scale %.2f] ---\n%s",
                   tenant::scenario_name(s), rate_scale,
                   result.report.to_table().c_str());
@@ -563,12 +609,58 @@ int main(int argc, char** argv) {
             worst_victim_interference(result));
       }
       replay_scenarios.push(replay_scenario_json(result));
+      replay_fifo.push_back(std::move(result));
     }
     replay_json.set("rate_scale", rate_scale);
     bench::Json paths = bench::Json::array();
     for (const auto& p : trace_paths) paths.push(p);
     replay_json.set("trace_paths", std::move(paths));
     replay_json.set("scenarios", std::move(replay_scenarios));
+
+    // The isolation buy-back study under open-loop load: the same replayed
+    // scenarios per alternative queue discipline, with the victims' p99
+    // inflation delta against the FIFO replay above.  A policy only proves
+    // itself if it still helps when arrivals do not back off.
+    if (!alts.empty()) {
+      bench::Json replay_policies = bench::Json::array();
+      for (const sched::Policy p : alts) {
+        tenant::ScenarioOptions palt = ropt;
+        palt.sched.policy = p;
+        bench::Json pol = bench::Json::object();
+        pol.set("policy", sched::policy_name(p));
+        bench::Json pol_scenarios = bench::Json::array();
+        for (std::size_t si = 0; si < replay_study.size(); ++si) {
+          const tenant::Scenario s = replay_study[si];
+          const auto result = tenant::run_scenario(s, palt);
+          std::printf("\n--- %s [replay, %s] ---\n%s",
+                      tenant::scenario_name(s), sched::policy_name(p),
+                      result.report.to_table().c_str());
+          const auto& base = replay_fifo[si];
+          if (s == tenant::Scenario::kNoisyNeighbor) {
+            const double improvement =
+                worst_victim_interference(base) > 0.0
+                    ? 1.0 - worst_victim_interference(result) /
+                                worst_victim_interference(base)
+                    : 0.0;
+            std::printf(
+                "replay victim interference buy-back under %s: %.1f%% (vs "
+                "FIFO replay)\n",
+                sched::policy_name(p), improvement * 100.0);
+            pol.set("victim_interference_improvement", improvement);
+          }
+          if (s == tenant::Scenario::kFairShare) {
+            std::printf("replay fair-share Jain under %s: %.4f (FIFO %.4f)\n",
+                        sched::policy_name(p), result.report.jain_index,
+                        base.report.jain_index);
+            pol.set("fair_share_jain", result.report.jain_index);
+          }
+          pol_scenarios.push(replay_scenario_json(result));
+        }
+        pol.set("scenarios", std::move(pol_scenarios));
+        replay_policies.push(std::move(pol));
+      }
+      replay_json.set("policies", std::move(replay_policies));
+    }
   }
 
   bench::Json config = bench::Json::object();
@@ -578,6 +670,7 @@ int main(int argc, char** argv) {
   // Only a multi-cluster run grows the envelope; --clusters 1 output stays
   // byte-identical to the single-cluster bench.
   if (clusters > 1) config.set("clusters", clusters);
+  if (threads > 1) config.set("threads", threads);
   bench::Json wjson = bench::Json::array();
   for (const double w : weights) wjson.push(w);
   config.set("weights", std::move(wjson));

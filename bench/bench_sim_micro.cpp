@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -20,6 +21,7 @@
 #include "common/rng.h"
 #include "common/token_bucket.h"
 #include "essd/essd_device.h"
+#include "sim/parallel.h"
 #include "sim/simulator.h"
 #include "ssd/ssd_device.h"
 #include "workload/runner.h"
@@ -118,6 +120,46 @@ void BM_EssdSimulatedIops(benchmark::State& state) {
 }
 BENCHMARK(BM_EssdSimulatedIops)->Unit(benchmark::kMillisecond);
 
+// The parallel engine's events/sec trajectory: four independent shards
+// (own simulator + ESSD device + closed-loop job each, like one
+// `ShardedHost` measure epoch) on Arg(0) worker threads.  On a multi-core
+// host the events/sec counter should climb from Arg(1) to Arg(4); on a
+// single core the Arg values should tie — either way the work per shard is
+// identical, so the row family doubles as a determinism canary.
+void BM_ParallelShardReplay(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::ParallelExecutor exec(threads);
+    std::array<std::uint64_t, 4> shard_events{};
+    exec.run_epoch(shard_events.size(), [&](std::size_t s) {
+      sim::Simulator sim;
+      essd::EssdDevice device(sim, essd::alibaba_pl3_profile(2ull << 30));
+      wl::JobSpec spec;
+      spec.pattern = wl::AccessPattern::kRandom;
+      spec.io_bytes = 4096;
+      spec.queue_depth = 16;
+      spec.total_ops = 5000;
+      spec.seed = 7 + static_cast<std::uint64_t>(s);
+      const auto stats = wl::JobRunner::run_to_completion(sim, device, spec);
+      benchmark::DoNotOptimize(stats.total_ops());
+      shard_events[s] = sim.events_processed();
+    });
+    for (const auto e : shard_events) events += e;
+  }
+  // A plain counter, not kIsRate: rate counters divide by the *main
+  // thread's* CPU time, which is near zero while the workers run.  main()
+  // derives events/sec from this against accumulated wall time.
+  state.counters["sim_events"] =
+      benchmark::Counter(static_cast<double>(events));
+}
+BENCHMARK(BM_ParallelShardReplay)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 /// Console reporter that also keeps every iteration run so main() can emit
 /// the shared bench JSON schema.
 class CollectingReporter : public benchmark::ConsoleReporter {
@@ -175,6 +217,23 @@ int main(int argc, char** argv) {
       const auto items = r.counters.find("items_per_second");
       if (items != r.counters.end()) {
         b.set("items_per_second", static_cast<double>(items->second.value));
+      }
+      // Every row carries events_per_sec: simulator events over wall time
+      // when the benchmark counts them (the parallel trajectory rows), its
+      // item rate otherwise, falling back to iterations per wall-second.
+      const auto events = r.counters.find("sim_events");
+      if (events != r.counters.end()) {
+        b.set("events_per_sec",
+              r.real_accumulated_time > 0.0
+                  ? static_cast<double>(events->second.value) /
+                        r.real_accumulated_time
+                  : 0.0);
+      } else if (items != r.counters.end()) {
+        b.set("events_per_sec", static_cast<double>(items->second.value));
+      } else {
+        b.set("events_per_sec", r.real_accumulated_time > 0.0
+                                    ? iters / r.real_accumulated_time
+                                    : 0.0);
       }
       benchmarks.push(std::move(b));
     }

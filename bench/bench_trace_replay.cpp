@@ -21,9 +21,17 @@
 //   3. overload— replay a capped prefix time-warped above the budget:
 //                slowdown p99 detaches from p50, backlog grows, and the
 //                contract checker reports the violations by implication.
+//   4. multi-cluster (--clusters K, optional) — the same offered load split
+//                across K independent clusters, one open-loop tenant each,
+//                run as a `placement::ShardedHost` on `--threads N` workers.
+//                Reports wall time, events/sec, per-shard FNV digests (the
+//                thread-count-invariance artifact), and per-cluster
+//                contract verdicts.
 //
 // --json emits the documented `trace_replay` schema (docs/BENCH_JSON.md).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -36,6 +44,10 @@
 #include "common/strfmt.h"
 #include "common/table.h"
 #include "contract/replay.h"
+#include "essd/essd_config.h"
+#include "placement/placement.h"
+#include "sim/parallel.h"
+#include "tenant/tenant.h"
 #include "workload/load_source.h"
 #include "workload/runner.h"
 #include "workload/trace.h"
@@ -117,6 +129,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::uint64_t want_events = 0;
   double rate_scale = 1.0;
+  int clusters = 1;
+  int threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -130,6 +144,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       ++i;
+    } else if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
+      clusters = std::atoi(argv[++i]);
+      if (clusters < 1) {
+        std::fprintf(stderr, "error: --clusters wants a positive count\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::fprintf(stderr, "error: --threads wants a positive count\n");
+        return 2;
+      }
     }
   }
 
@@ -279,6 +305,99 @@ int main(int argc, char** argv) {
   row("overload", over_verdict);
   std::printf("\n%s", table.to_string().c_str());
 
+  // ------------------------------------------- leg 4: multi-cluster --
+  // The leg-1 load shape replicated per cluster (distinct generator seeds,
+  // the leg's event total split K ways), run as a `placement::ShardedHost`
+  // on `--threads` workers.  The per-shard digests are the determinism
+  // artifact: any two runs of the same --clusters/--events at different
+  // --threads must print identical digest vectors.  Gated on --clusters so
+  // the default single-cluster output stays byte-identical.
+  bench::Json multi_json = bench::Json::object();
+  if (clusters > 1) {
+    const essd::EssdConfig mc_base =
+        essd::alibaba_pl3_profile(scale.essd_capacity);
+    const std::uint64_t per_cluster = std::max<std::uint64_t>(
+        1, summary.events / static_cast<std::uint64_t>(clusters));
+    std::vector<tenant::TenantSpec> specs;
+    for (int c = 0; c < clusters; ++c) {
+      tenant::TenantSpec t;
+      t.name = strfmt("cluster%d", c);
+      t.capacity_bytes = scale.essd_capacity;
+      t.qos = mc_base.qos;
+      t.load.job.name = t.name;
+      t.load.open_loop = true;
+      t.load.rate_scale = rate_scale;
+      t.load.max_events = per_cluster;
+      t.load.gen.base_iops = 26000.0;
+      t.load.gen.burst_iops = 20000.0;
+      t.load.gen.bursts_per_s = 0.05;
+      t.load.gen.diurnal_amplitude = 0.35;
+      t.load.gen.duration = static_cast<SimTime>(
+          static_cast<double>(per_cluster) / t.load.gen.base_iops * 1e9);
+      t.load.gen.region_bytes = 4ull << 30;
+      t.load.gen.seed = 20240 + (scale.quick ? 1 : 0) +
+                        1000ull * static_cast<std::uint64_t>(c);
+      specs.push_back(std::move(t));
+    }
+
+    placement::PlacementConfig pcfg;
+    pcfg.clusters = clusters;
+    pcfg.policy = placement::Policy::kSpread;
+    placement::ShardedHost host(mc_base, specs, pcfg);
+
+    sim::ParallelExecutor exec(threads);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto fleet = host.run(exec);
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+    const auto digests = placement::shard_digests(host.plan(), fleet);
+    std::uint64_t replayed = 0;
+    for (const auto& tr : fleet.traces) replayed += tr.events;
+    const double events_per_sec =
+        wall_s > 0.0 ? static_cast<double>(fleet.sim_events) / wall_s : 0.0;
+
+    std::printf(
+        "\nmulti-cluster: %d clusters x %llu events on %d thread(s) "
+        "(%zu shards) — wall %.2f s, %llu sim events, %.0f events/sec\n",
+        clusters, static_cast<unsigned long long>(per_cluster),
+        exec.threads(), host.plan().shards(), wall_s,
+        static_cast<unsigned long long>(fleet.sim_events), events_per_sec);
+
+    bench::Json mc_tenants = bench::Json::array();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      contract::ReplayCheckConfig mc_check;
+      mc_check.budget_gbs = specs[i].qos.bw_bytes_per_s / 1e9;
+      mc_check.budget_iops = specs[i].qos.iops;
+      const auto v = contract::evaluate_replay(
+          fleet.traces[i], fleet.stats[i], fleet.backlog_peak[i], mc_check);
+      print_verdict(specs[i].name.c_str(), v);
+      bench::Json t = verdict_json(v);
+      t.set("name", specs[i].name);
+      t.set("events", fleet.traces[i].events);
+      mc_tenants.push(std::move(t));
+    }
+    std::printf("multi-cluster digests:");
+    // Hex strings in the JSON too: bench::Json stores numbers as double,
+    // which cannot carry a 64-bit digest exactly.
+    bench::Json dig = bench::Json::array();
+    for (const auto d : digests) {
+      std::printf(" %016llx", static_cast<unsigned long long>(d));
+      dig.push(strfmt("%016llx", static_cast<unsigned long long>(d)));
+    }
+    std::printf("\n");
+
+    multi_json.set("clusters", clusters);
+    multi_json.set("threads", exec.threads());
+    multi_json.set("shards", static_cast<std::uint64_t>(host.plan().shards()));
+    multi_json.set("wall_s", wall_s);
+    multi_json.set("replayed_events", replayed);
+    multi_json.set("sim_events", fleet.sim_events);
+    multi_json.set("events_per_sec", events_per_sec);
+    multi_json.set("digests", std::move(dig));
+    multi_json.set("tenants", std::move(mc_tenants));
+  }
+
   bench::Json config = bench::Json::object();
   config.set("quick", scale.quick);
   config.set("trace", trace_path.empty() ? "synthetic" : trace_path);
@@ -286,6 +405,12 @@ int main(int argc, char** argv) {
   config.set("rate_scale", rate_scale);
   config.set("device", "ESSD-2 (Alibaba PL3 sim)");
   config.set("budget_gbs", budget_gbs);
+  // Only the multi-cluster leg grows the envelope; the default output stays
+  // byte-identical to the single-cluster bench.
+  if (clusters > 1) {
+    config.set("clusters", clusters);
+    config.set("threads", threads);
+  }
 
   bench::Json metrics = bench::Json::object();
   bench::Json trace_json = bench::Json::object();
@@ -313,6 +438,7 @@ int main(int argc, char** argv) {
   div.set("closed_p99_latency_ms", closed_p99_ms);
   div.set("ratio", divergence);
   metrics.set("divergence", std::move(div));
+  if (clusters > 1) metrics.set("multi_cluster", std::move(multi_json));
 
   bench::maybe_write_json(
       scale, bench::bench_report("trace_replay", std::move(config),

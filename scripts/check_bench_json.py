@@ -67,10 +67,23 @@ def check_placement_scenario(path, s):
         check_tenant(path, tenant)
 
 
+def check_parallel(path, par):
+    for key in ("threads", "wall_s", "sim_events", "events_per_sec"):
+        if key not in par:
+            fail(path, f"parallel block missing '{key}'")
+    if not isinstance(par["threads"], int) or par["threads"] < 2:
+        fail(path, "parallel.threads must be an int >= 2")
+    if par["sim_events"] <= 0 or par["events_per_sec"] <= 0:
+        fail(path, "parallel block must report positive event counts/rates")
+
+
 def check_placement(path, placement):
     clusters = placement.get("clusters")
     if not isinstance(clusters, int) or clusters < 2:
         fail(path, "metrics.placement.clusters must be an int >= 2")
+    # The parallel-engine trajectory rides along when --threads > 1.
+    if "parallel" in placement:
+        check_parallel(path, placement["parallel"])
     policies = placement.get("policies")
     if not isinstance(policies, list) or not policies:
         fail(path, "metrics.placement.policies must be a non-empty array")
@@ -130,6 +143,14 @@ def check_multi_tenant(path, metrics):
     # The replay-driven study rides along with --trace / --trace-gen.
     if "replay" in metrics:
         check_replay_block(path, metrics["replay"])
+        # Per-policy replay reruns ride along when --sched allows
+        # alternatives next to the replay flags.
+        for p in metrics["replay"].get("policies", []):
+            if "policy" not in p or p["policy"] not in ("wfq", "prio"):
+                fail(path, "replay policy entry has bad 'policy': "
+                           f"{p.get('policy')}")
+            if not isinstance(p.get("scenarios"), list) or not p["scenarios"]:
+                fail(path, f"replay policy '{p['policy']}' needs scenarios")
 
 
 def check_violations(path, violations):
@@ -283,9 +304,19 @@ def check_sim_micro(path, metrics):
         fail(path, "metrics.benchmarks must be a non-empty array")
     for b in benchmarks:
         for key in ("name", "iterations", "real_ns_per_iter",
-                    "cpu_ns_per_iter"):
+                    "cpu_ns_per_iter", "events_per_sec"):
             if key not in b:
                 fail(path, f"benchmark row missing '{key}'")
+        if b["events_per_sec"] <= 0:
+            fail(path, f"benchmark '{b['name']}' events_per_sec must be > 0")
+    # The parallel trajectory: when the shard-replay family ran, every
+    # requested thread count must have produced a row (events/sec at 1, 2,
+    # and 4 workers is the single- vs multi-thread comparison artifact).
+    parallel = [b for b in benchmarks
+                if b["name"].startswith("BM_ParallelShardReplay")]
+    if parallel and len(parallel) < 3:
+        fail(path, "BM_ParallelShardReplay must report all thread counts "
+                   f"(got {len(parallel)} rows)")
 
 
 def check_impl1(path, metrics):
@@ -373,6 +404,32 @@ def check_trace_replay(path, metrics):
     for key in ("open_p99_slowdown_ms", "closed_p99_latency_ms", "ratio"):
         if key not in div:
             fail(path, f"divergence missing '{key}'")
+    # The sharded fleet leg rides along when --clusters > 1.
+    mc = metrics.get("multi_cluster")
+    if mc is not None:
+        for key in ("clusters", "threads", "shards", "wall_s",
+                    "replayed_events", "sim_events", "events_per_sec",
+                    "digests", "tenants"):
+            if key not in mc:
+                fail(path, f"multi_cluster missing '{key}'")
+        if mc["events_per_sec"] <= 0 or mc["sim_events"] <= 0:
+            fail(path, "multi_cluster must report positive event counts")
+        digests = mc["digests"]
+        if (not isinstance(digests, list)
+                or len(digests) != mc["shards"]
+                or not all(isinstance(d, str) and len(d) == 16
+                           for d in digests)):
+            fail(path, "multi_cluster.digests must hold one 16-hex-char "
+                       "string per shard")
+        if not isinstance(mc["tenants"], list) or not mc["tenants"]:
+            fail(path, "multi_cluster.tenants must be a non-empty array")
+        for t in mc["tenants"]:
+            for key in ("name", "events", "offered_gbs", "achieved_gbs",
+                        "slowdown_p50_ms", "slowdown_p99_ms", "backlog_peak",
+                        "violations"):
+                if key not in t:
+                    fail(path, f"multi_cluster tenant missing '{key}'")
+            check_violations(path, t["violations"])
 
 
 CHECKS = {

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file digest.h
+/// FNV-1a digests over simulation outcomes.
+///
+/// The determinism suite pins runs by comparing a handful of fields; the
+/// parallel engine needs something stronger — a single value that condenses
+/// *everything observable* about a shard's run, so "identical at every
+/// thread count" is one equality check.  FNV-1a is used for the same reason
+/// the event queue uses FIFO tie-breaks: it is simple, portable, and has no
+/// configuration to drift.
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace uc {
+
+/// Incremental 64-bit FNV-1a.  Feed integers, doubles (by bit pattern, so
+/// -0.0 != 0.0 and NaNs are stable), and strings; read `value()` any time.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 1469598103934665603ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  std::uint64_t value() const { return hash_; }
+
+  Fnv1a& mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (i * 8)) & 0xffu;
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+  Fnv1a& mix(double v) { return mix(std::bit_cast<std::uint64_t>(v)); }
+  Fnv1a& mix(std::string_view s) {
+    for (const char c : s) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= kPrime;
+    }
+    // Length terminator so {"ab","c"} and {"a","bc"} digest differently.
+    return mix(static_cast<std::uint64_t>(s.size()));
+  }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace uc

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
+
+#include "common/digest.h"
 
 namespace uc::placement {
 
@@ -46,6 +49,11 @@ std::vector<int> plan_placement(
     const PlacementConfig& cfg,
     const std::vector<tenant::TenantSpec>& tenants) {
   UC_ASSERT(cfg.clusters >= 1, "placement needs at least one cluster");
+  if (!cfg.fixed_assignment.empty()) {
+    UC_ASSERT(cfg.fixed_assignment.size() == tenants.size(),
+              "fixed assignment must cover every tenant");
+    return cfg.fixed_assignment;
+  }
   const auto k = static_cast<std::size_t>(cfg.clusters);
   std::vector<std::uint64_t> bytes(k, 0);
   std::vector<double> weight(k, 0.0);
@@ -101,7 +109,7 @@ std::vector<int> plan_placement(
 essd::EssdConfig MultiClusterHost::cluster_base(int c) const {
   essd::EssdConfig b = base_;
   const auto stride =
-      kClusterSeedStride * static_cast<std::uint64_t>(c);
+      kClusterSeedStride * static_cast<std::uint64_t>(cfg_.first_cluster + c);
   b.seed += stride;
   b.cluster.seed += stride;
   b.cluster.sched.weights = cluster_weights_[static_cast<std::size_t>(c)];
@@ -235,11 +243,27 @@ void MultiClusterHost::schedule_rebalance_check() {
 }
 
 PlacementResult MultiClusterHost::run() {
-  UC_ASSERT(!ran_, "host already ran");
-  ran_ = true;
+  run_fill();
+  return run_measure(sim_.now());
+}
+
+void MultiClusterHost::run_fill() {
+  UC_ASSERT(!filled_, "host already preconditioned");
+  filled_ = true;
   tenant::run_preconditions(
       sim_, tenants_,
       [this](std::size_t i) -> BlockDevice& { return *devices_[i]; });
+}
+
+PlacementResult MultiClusterHost::run_measure(SimTime measure_start) {
+  UC_ASSERT(filled_, "run_measure before run_fill");
+  UC_ASSERT(!ran_, "host already ran");
+  ran_ = true;
+  // Clock alignment: the fleet's measured window opens when the *slowest*
+  // shard's fill drains.  The queue is already empty, so this only advances
+  // the clock (and is a no-op on the single-host path, where
+  // `measure_start` is this simulator's own drain time).
+  sim_.run_until(measure_start);
 
   PlacementResult result;
   result.measure_start = sim_.now();
@@ -272,12 +296,254 @@ PlacementResult MultiClusterHost::run() {
     result.cleaner.push_back(
         ebs::subtract(clusters_[c]->cleaner().stats(), cleaner_before[c]));
   }
+  result.sim_events = sim_.events_processed();
   return result;
 }
 
 wl::JobStats MultiClusterHost::run_solo(std::size_t i) const {
   return tenant::SharedClusterHost::run_solo(cluster_base(initial_cluster_[i]),
                                              tenants_[i], local_index_[i]);
+}
+
+int ShardPlan::shard_of_cluster(int c) const {
+  for (std::size_t s = 0; s < first_cluster.size(); ++s) {
+    if (c >= first_cluster[s] && c < first_cluster[s] + clusters[s]) {
+      return static_cast<int>(s);
+    }
+  }
+  UC_ASSERT(false, "cluster outside every shard");
+  return 0;
+}
+
+ShardPlan compute_shard_plan(const PlacementConfig& cfg) {
+  UC_ASSERT(cfg.clusters >= 1, "placement needs at least one cluster");
+  ShardPlan plan;
+  if (cfg.clusters == 1 || cfg.rebalance_watermark > 1.0) {
+    // A rebalancing fleet cannot split: a VolumeMigrator touches source and
+    // destination clusters inside one simulator, so any cluster pair may
+    // become coupled mid-run.
+    plan.first_cluster.push_back(0);
+    plan.clusters.push_back(cfg.clusters);
+  } else {
+    for (int c = 0; c < cfg.clusters; ++c) {
+      plan.first_cluster.push_back(c);
+      plan.clusters.push_back(1);
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+void mix_histogram(Fnv1a& d, const LatencyHistogram& h) {
+  d.mix(h.count());
+  d.mix(static_cast<std::uint64_t>(h.min()));
+  d.mix(static_cast<std::uint64_t>(h.max()));
+  d.mix(h.mean());
+  d.mix(static_cast<std::uint64_t>(h.percentile(50)));
+  d.mix(static_cast<std::uint64_t>(h.percentile(99)));
+  d.mix(static_cast<std::uint64_t>(h.percentile(99.9)));
+}
+
+void mix_job(Fnv1a& d, const wl::JobStats& s) {
+  d.mix(s.read_ops);
+  d.mix(s.write_ops);
+  d.mix(s.read_bytes);
+  d.mix(s.write_bytes);
+  d.mix(static_cast<std::uint64_t>(s.first_submit));
+  d.mix(static_cast<std::uint64_t>(s.last_complete));
+  mix_histogram(d, s.read_latency);
+  mix_histogram(d, s.write_latency);
+  mix_histogram(d, s.all_latency);
+  mix_histogram(d, s.slowdown);
+}
+
+void mix_trace(Fnv1a& d, const wl::TraceSummary& t) {
+  d.mix(t.events);
+  d.mix(static_cast<std::uint64_t>(t.span_ns));
+  d.mix(t.total_bytes);
+  d.mix(t.write_bytes);
+  d.mix(t.peak_to_mean);
+  d.mix(t.byte_peak_to_mean);
+  d.mix(t.small_io_byte_fraction);
+}
+
+void mix_cluster(Fnv1a& d, const ebs::ClusterStats& c) {
+  d.mix(c.writes);
+  d.mix(c.written_pages);
+  d.mix(c.reads);
+  d.mix(c.read_pages);
+  d.mix(c.cache_hit_pages);
+  d.mix(c.media_read_pages);
+  d.mix(c.unwritten_read_pages);
+  d.mix(c.readahead_fetches);
+  d.mix(c.trims);
+  d.mix(c.trimmed_pages);
+  d.mix(c.stalled_writes);
+  d.mix(static_cast<std::uint64_t>(c.append_stall_ns));
+}
+
+void mix_cleaner(Fnv1a& d, const ebs::CleanerStats& c) {
+  d.mix(c.segments_cleaned);
+  d.mix(c.pages_relocated);
+  d.mix(c.bytes_processed);
+  for (const std::uint64_t v : c.tenant_segments) d.mix(v);
+  for (const std::uint64_t v : c.tenant_pages) d.mix(v);
+  d.mix(static_cast<std::uint64_t>(c.tenant_segments.size()));
+  d.mix(static_cast<std::uint64_t>(c.tenant_pages.size()));
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> shard_digests(const ShardPlan& plan,
+                                         const PlacementResult& merged) {
+  std::vector<Fnv1a> digest(plan.shards());
+  // Tenants digest into the shard that *planned* them (migration only moves
+  // tenants within a shard, since coupled clusters always co-shard).
+  for (std::size_t i = 0; i < merged.stats.size(); ++i) {
+    Fnv1a& d = digest[static_cast<std::size_t>(
+        plan.shard_of_cluster(merged.initial_cluster[i]))];
+    d.mix(static_cast<std::uint64_t>(i));
+    d.mix(static_cast<std::uint64_t>(merged.final_cluster[i]));
+    d.mix(merged.backlog_peak[i]);
+    mix_job(d, merged.stats[i]);
+    mix_trace(d, merged.traces[i]);
+  }
+  for (std::size_t c = 0; c < merged.cluster.size(); ++c) {
+    Fnv1a& d = digest[static_cast<std::size_t>(
+        plan.shard_of_cluster(static_cast<int>(c)))];
+    d.mix(static_cast<std::uint64_t>(c));
+    mix_cluster(d, merged.cluster[c]);
+    mix_cleaner(d, merged.cleaner[c]);
+  }
+  for (const MigrationRecord& m : merged.migrations) {
+    Fnv1a& d = digest[static_cast<std::size_t>(
+        plan.shard_of_cluster(m.from_cluster))];
+    d.mix(static_cast<std::uint64_t>(m.tenant));
+    d.mix(static_cast<std::uint64_t>(m.from_cluster));
+    d.mix(static_cast<std::uint64_t>(m.to_cluster));
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(digest.size());
+  for (const Fnv1a& d : digest) out.push_back(d.value());
+  return out;
+}
+
+ShardedHost::ShardedHost(const essd::EssdConfig& base,
+                         std::vector<tenant::TenantSpec> tenants,
+                         const PlacementConfig& cfg)
+    : base_(base), cfg_(cfg), tenants_(std::move(tenants)) {
+  UC_ASSERT(!tenants_.empty(), "host needs at least one tenant");
+  planned_ = plan_placement(cfg_, tenants_);
+  plan_ = compute_shard_plan(cfg_);
+
+  shards_.resize(plan_.shards());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].first_cluster = plan_.first_cluster[s];
+    shards_[s].clusters = plan_.clusters[s];
+  }
+  shard_of_tenant_.resize(tenants_.size());
+  local_of_tenant_.resize(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const auto s =
+        static_cast<std::size_t>(plan_.shard_of_cluster(planned_[i]));
+    shard_of_tenant_[i] = s;
+    local_of_tenant_[i] = shards_[s].tenant.size();
+    shards_[s].tenant.push_back(i);
+  }
+
+  for (Shard& sh : shards_) {
+    if (sh.tenant.empty()) continue;  // idle clusters need no simulator
+    PlacementConfig sub = cfg_;
+    sub.clusters = sh.clusters;
+    sub.first_cluster = cfg_.first_cluster + sh.first_cluster;
+    sub.fixed_assignment.clear();
+    std::vector<tenant::TenantSpec> specs;
+    specs.reserve(sh.tenant.size());
+    for (const std::size_t g : sh.tenant) {
+      specs.push_back(tenants_[g]);
+      // Pin the global plan; the shard host must not re-run the policy over
+      // its filtered tenant list.
+      sub.fixed_assignment.push_back(planned_[g] - sh.first_cluster);
+    }
+    sh.sim = std::make_unique<sim::Simulator>();
+    sh.host = std::make_unique<MultiClusterHost>(*sh.sim, base_,
+                                                 std::move(specs), sub);
+  }
+}
+
+PlacementResult ShardedHost::run(sim::ParallelExecutor& exec) {
+  UC_ASSERT(!ran_, "host already ran");
+  ran_ = true;
+  // Epoch 1: every shard preconditions and drains its own simulator.
+  exec.run_epoch(shards_.size(), [this](std::size_t s) {
+    if (shards_[s].host != nullptr) shards_[s].host->run_fill();
+  });
+  // Barrier: the fleet's measured window opens at the slowest drain — the
+  // same instant the single-simulator host observes, where one queue holds
+  // every cluster's fill and drains at the global max.
+  SimTime t0 = 0;
+  for (const Shard& sh : shards_) {
+    if (sh.sim != nullptr) t0 = std::max(t0, sh.sim->now());
+  }
+  // Epoch 2: the measured runs, all opening at t0.
+  std::vector<PlacementResult> part(shards_.size());
+  exec.run_epoch(shards_.size(), [this, &part, t0](std::size_t s) {
+    if (shards_[s].host != nullptr) part[s] = shards_[s].host->run_measure(t0);
+  });
+
+  // Coordinator merge: restore spec order for tenants and global indices
+  // for clusters.  Shards without a host leave default (all-zero) cluster
+  // and cleaner deltas — exactly what an idle cluster contributes.
+  const std::size_t n = tenants_.size();
+  PlacementResult result;
+  result.measure_start = t0;
+  result.stats.resize(n);
+  result.backlog_peak.resize(n);
+  result.traces.resize(n);
+  result.initial_cluster.resize(n);
+  result.final_cluster.resize(n);
+  result.cluster.resize(static_cast<std::size_t>(cfg_.clusters));
+  result.cleaner.resize(static_cast<std::size_t>(cfg_.clusters));
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = shards_[s];
+    if (sh.host == nullptr) continue;
+    PlacementResult& r = part[s];
+    for (std::size_t j = 0; j < sh.tenant.size(); ++j) {
+      const std::size_t g = sh.tenant[j];
+      result.stats[g] = std::move(r.stats[j]);
+      result.backlog_peak[g] = r.backlog_peak[j];
+      result.traces[g] = std::move(r.traces[j]);
+      result.initial_cluster[g] = r.initial_cluster[j] + sh.first_cluster;
+      result.final_cluster[g] = r.final_cluster[j] + sh.first_cluster;
+    }
+    for (int c = 0; c < sh.clusters; ++c) {
+      const auto gc = static_cast<std::size_t>(sh.first_cluster + c);
+      result.cluster[gc] = r.cluster[static_cast<std::size_t>(c)];
+      result.cleaner[gc] = std::move(r.cleaner[static_cast<std::size_t>(c)]);
+    }
+    for (const MigrationRecord& m : r.migrations) {
+      result.migrations.push_back(MigrationRecord{
+          sh.tenant[m.tenant], m.from_cluster + sh.first_cluster,
+          m.to_cluster + sh.first_cluster, m.stats});
+    }
+    result.makespan = std::max(result.makespan, r.makespan);
+    result.sim_events += r.sim_events;
+  }
+  return result;
+}
+
+void ShardedHost::check_invariants() const {
+  for (const Shard& sh : shards_) {
+    if (sh.host == nullptr) continue;
+    for (int c = 0; c < sh.host->cluster_count(); ++c) {
+      sh.host->cluster(c).check_invariants();
+    }
+  }
+}
+
+wl::JobStats ShardedHost::run_solo(std::size_t i) const {
+  return shards_[shard_of_tenant_[i]].host->run_solo(local_of_tenant_[i]);
 }
 
 PlacementScenarioResult run_placement_scenario(
@@ -287,12 +553,27 @@ PlacementScenarioResult run_placement_scenario(
   result.scenario = s;
   result.tenants = setup.tenants;
 
-  sim::Simulator sim;
-  MultiClusterHost host(sim, setup.base, setup.tenants, opt.placement);
-  PlacementResult run = host.run();
-  for (int c = 0; c < host.cluster_count(); ++c) {
-    host.cluster(c).check_invariants();
+  sim::ParallelExecutor exec(opt.base.threads);
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<MultiClusterHost> host;
+  std::unique_ptr<ShardedHost> sharded;
+  PlacementResult run;
+  if (exec.threads() > 1) {
+    sharded = std::make_unique<ShardedHost>(setup.base, setup.tenants,
+                                            opt.placement);
+    run = sharded->run(exec);
+    sharded->check_invariants();
+  } else {
+    sim = std::make_unique<sim::Simulator>();
+    host = std::make_unique<MultiClusterHost>(*sim, setup.base, setup.tenants,
+                                              opt.placement);
+    run = host->run();
+    for (int c = 0; c < host->cluster_count(); ++c) {
+      host->cluster(c).check_invariants();
+    }
   }
+  result.shard_digest = shard_digests(compute_shard_plan(opt.placement), run);
+  result.sim_events = run.sim_events;
   result.makespan = run.makespan - run.measure_start;
   result.initial_cluster = std::move(run.initial_cluster);
   result.final_cluster = std::move(run.final_cluster);
@@ -304,10 +585,13 @@ PlacementScenarioResult run_placement_scenario(
   result.traces = std::move(run.traces);
 
   if (opt.base.solo_baselines) {
-    result.solo.reserve(setup.tenants.size());
-    for (std::size_t i = 0; i < setup.tenants.size(); ++i) {
-      result.solo.push_back(host.run_solo(i));
-    }
+    result.solo.resize(setup.tenants.size());
+    // Each solo builds its own private simulator, so baselines fan out on
+    // the same executor; one thread reproduces today's sequential loop.
+    exec.run_epoch(setup.tenants.size(), [&](std::size_t i) {
+      result.solo[i] = host != nullptr ? host->run_solo(i)
+                                       : sharded->run_solo(i);
+    });
   }
   result.report = tenant::build_fairness_report(setup.tenants,
                                                 result.colocated, result.solo);

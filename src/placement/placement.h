@@ -24,6 +24,7 @@
 
 #include "common/types.h"
 #include "common/units.h"
+#include "sim/parallel.h"
 #include "ebs/cleaner.h"
 #include "ebs/cluster.h"
 #include "essd/essd_config.h"
@@ -71,6 +72,18 @@ struct PlacementConfig {
   SimTime rebalance_interval = 50 * units::kMs;
 
   MigrationConfig migration;
+
+  /// Shard construction (set by `ShardedHost`, not by end users): this
+  /// host's cluster `c` is cluster `first_cluster + c` of the fleet, so its
+  /// seed strides — and therefore every digest — match the cluster's
+  /// single-simulator identity.
+  int first_cluster = 0;
+
+  /// When non-empty, `plan_placement` returns this verbatim (one local
+  /// cluster index per tenant) instead of running the policy.  The sharded
+  /// run plans once globally, then pins each shard's slice so a policy
+  /// re-run over the filtered tenant list cannot diverge from the plan.
+  std::vector<int> fixed_assignment;
 };
 
 /// Pure placement planning (exposed for tests): cluster index per tenant,
@@ -100,6 +113,11 @@ struct PlacementResult {
   /// Per-cluster activity within the measured window.
   std::vector<ebs::ClusterStats> cluster;
   std::vector<ebs::CleanerStats> cleaner;
+  /// Events processed by the host simulator(s) over fill + measure — the
+  /// numerator of the parallel engine's events/sec trajectory.  Sharded
+  /// runs sum their shard simulators; the total matches the single-sim run
+  /// because every event belongs to exactly one cluster's shard.
+  std::uint64_t sim_events = 0;
 };
 
 /// N tenants over K clusters: one simulator, one `EssdDevice` +
@@ -113,6 +131,15 @@ class MultiClusterHost {
                    const PlacementConfig& cfg);
 
   PlacementResult run();
+
+  /// The two phases of `run()`, split so `ShardedHost` can put an epoch
+  /// barrier between them.  `run_fill()` preconditions every tenant and
+  /// drains; `run_measure(t)` advances the (idle) clock to `t` — the fleet-
+  /// wide measured-window start — then starts the loads and collects.
+  /// `run()` is exactly `run_fill()` + `run_measure(sim.now())`, so the
+  /// single-host path is untouched.
+  void run_fill();
+  PlacementResult run_measure(SimTime measure_start);
 
   std::size_t tenant_count() const { return tenants_.size(); }
   const tenant::TenantSpec& spec(std::size_t i) const { return tenants_[i]; }
@@ -160,6 +187,81 @@ class MultiClusterHost {
   std::vector<std::unique_ptr<wl::LoadSource>> sources_;
   std::unique_ptr<VolumeMigrator> migrator_;  ///< at most one at a time
   std::vector<MigrationRecord> records_;
+  bool filled_ = false;
+  bool ran_ = false;
+};
+
+/// How a fleet splits into independently-advancing shards.  Shard `s`
+/// covers the contiguous global clusters [`first_cluster[s]`,
+/// `first_cluster[s] + clusters[s]`).  The partition depends only on the
+/// placement config — never on the thread count — so per-shard results are
+/// comparable across any `--threads` value.
+struct ShardPlan {
+  std::vector<int> first_cluster;
+  std::vector<int> clusters;
+
+  std::size_t shards() const { return first_cluster.size(); }
+  int shard_of_cluster(int c) const;
+};
+
+/// The partition rule (see docs/ARCHITECTURE.md, "Threading model"):
+/// one shard per cluster — clusters only share a simulator when they can
+/// interact, and with rebalancing off they never do — except when
+/// `rebalance_watermark > 1.0`, where live migration couples arbitrary
+/// cluster pairs and the whole fleet co-shards onto one simulator.
+ShardPlan compute_shard_plan(const PlacementConfig& cfg);
+
+/// One FNV-1a digest per shard condensing everything tenant- and
+/// cluster-observable about its run: per-tenant job stats, latency/slowdown
+/// percentiles, backlog peaks, trace summaries, final placement, and
+/// per-cluster + cleaner counters.  Computed from the *merged* result, so
+/// the single-simulator run and any sharded run digest through the same
+/// code — "identical at every thread count" is a vector equality.
+std::vector<std::uint64_t> shard_digests(const ShardPlan& plan,
+                                         const PlacementResult& merged);
+
+/// The parallel fleet: the same tenants, policy, and seeds as one
+/// `MultiClusterHost`, but partitioned by `compute_shard_plan` into
+/// single-`Simulator` shards that advance concurrently on a
+/// `sim::ParallelExecutor` and synchronize at two epoch barriers (after the
+/// precondition fill, and after the measured run).  Merged results are
+/// bit-identical to the single-simulator host: shards share no state
+/// between barriers, per-cluster seeds come from the global
+/// `first_cluster` offsets, and the fill barrier reproduces the global
+/// measured-window start (the max drain time across shards).
+class ShardedHost {
+ public:
+  ShardedHost(const essd::EssdConfig& base,
+              std::vector<tenant::TenantSpec> tenants,
+              const PlacementConfig& cfg);
+
+  /// Two epochs on `exec` (fill, measure) + a coordinator merge.
+  PlacementResult run(sim::ParallelExecutor& exec);
+
+  const ShardPlan& plan() const { return plan_; }
+  std::size_t tenant_count() const { return tenants_.size(); }
+  void check_invariants() const;
+  /// Same solo baseline the single-simulator host would compute: the shard
+  /// host owning tenant `i` reruns it alone with its global cluster seeds.
+  wl::JobStats run_solo(std::size_t i) const;
+
+ private:
+  struct Shard {
+    int first_cluster = 0;  ///< global index of this shard's cluster 0
+    int clusters = 0;
+    std::vector<std::size_t> tenant;  ///< global spec index per local index
+    std::unique_ptr<sim::Simulator> sim;      ///< null when no tenants landed
+    std::unique_ptr<MultiClusterHost> host;   ///< here (idle clusters)
+  };
+
+  essd::EssdConfig base_;
+  PlacementConfig cfg_;
+  std::vector<tenant::TenantSpec> tenants_;
+  std::vector<int> planned_;  ///< global cluster per tenant (the one plan)
+  ShardPlan plan_;
+  std::vector<Shard> shards_;
+  std::vector<std::size_t> shard_of_tenant_;
+  std::vector<std::size_t> local_of_tenant_;
   bool ran_ = false;
 };
 
@@ -189,8 +291,17 @@ struct PlacementScenarioResult {
   std::vector<ebs::ClusterStats> cluster;
   std::vector<ebs::CleanerStats> cleaner;
   SimTime makespan = 0;
+  /// Per-shard FNV digests (`shard_digests` over `compute_shard_plan`) and
+  /// total simulator events — always computed, so single- and multi-thread
+  /// runs of the same scenario can be compared with one vector equality.
+  std::vector<std::uint64_t> shard_digest;
+  std::uint64_t sim_events = 0;
 };
 
+/// Honors `opt.base.threads`: 1 (the default) runs the existing
+/// single-simulator `MultiClusterHost` path unchanged; > 1 runs the same
+/// fleet as a `ShardedHost` on that many worker threads (solo baselines
+/// fan out per tenant on the same executor).
 PlacementScenarioResult run_placement_scenario(
     tenant::Scenario s, const PlacementScenarioOptions& opt);
 

@@ -1,0 +1,47 @@
+#include "sim/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace uc::sim {
+
+ParallelExecutor::ParallelExecutor(int threads)
+    : threads_(threads < 1 ? 1 : threads) {}
+
+int ParallelExecutor::max_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelExecutor::run_epoch(
+    std::size_t shards, const std::function<void(std::size_t)>& body) {
+  ++epochs_;
+  if (shards == 0) return;
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(threads_), shards);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < shards; ++i) body(i);
+    return;
+  }
+  // Chunk-free claiming: shard runtimes are wildly uneven (one busy cluster
+  // can dominate), so workers pull one shard at a time off a shared
+  // counter instead of pre-splitting ranges.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, &body, shards] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shards) return;
+        body(i);
+      }
+    });
+  }
+  // The join is the epoch barrier: after this, every shard's writes are
+  // visible to the coordinating thread.
+  for (auto& worker : pool) worker.join();
+}
+
+}  // namespace uc::sim

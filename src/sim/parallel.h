@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file parallel.h
+/// Shard-per-thread parallel execution for the discrete-event engine.
+///
+/// One `Simulator` is inherently sequential: every event mutates shared
+/// model state, so the loop cannot be split.  What *can* be split is the
+/// fleet: clusters interact only through rare placement/migration
+/// decisions, so each cluster group ("shard") gets its own `Simulator` and
+/// advances independently between synchronization points.
+///
+/// `ParallelExecutor` supplies exactly one primitive: an **epoch** — run
+/// every shard's body once on a bounded worker pool, then join.  The join
+/// is the epoch barrier; anything that must see a globally consistent view
+/// (clock alignment, placement decisions, result merging) runs on the
+/// coordinating thread between epochs.  Nothing crosses shards *inside* an
+/// epoch, which is what makes the scheme deterministic:
+///
+/// - a shard's body always executes whole, single-threaded, on one worker;
+/// - the thread count only changes *which* worker runs a shard and how many
+///   run concurrently — never what a shard computes;
+/// - so per-shard results are bit-identical at every thread count, and the
+///   determinism suite can pin them with one digest per shard.
+///
+/// See docs/ARCHITECTURE.md ("Threading model") for the shard partitioning
+/// rules and where the barriers sit in the placement layer.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace uc::sim {
+
+class ParallelExecutor {
+ public:
+  /// `threads` < 1 is clamped to 1 (sequential).
+  explicit ParallelExecutor(int threads = 1);
+
+  int threads() const { return threads_; }
+  /// Barriers crossed so far (one per run_epoch call).
+  std::uint64_t epochs() const { return epochs_; }
+
+  /// One epoch: `body(shard)` runs exactly once for every shard in
+  /// [0, shards); returns only after every body finished (the barrier).
+  /// With one thread or one shard, bodies run inline in ascending order.
+  /// Otherwise min(threads, shards) workers claim ascending indices off a
+  /// shared counter; each body still runs whole on a single worker.
+  void run_epoch(std::size_t shards,
+                 const std::function<void(std::size_t)>& body);
+
+  /// Hardware concurrency for CLI `--threads` defaults (>= 1).
+  static int max_threads();
+
+ private:
+  int threads_;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace uc::sim

@@ -43,6 +43,13 @@ void Simulator::run() {
 
 void Simulator::run_until(SimTime t) {
   while (!queue_.empty() && queue_.top().time <= t) {
+    // Drop cancelled entries here: step() skips past them on its own, but
+    // then fires the next live event even when it lies beyond `t`.
+    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
     if (!step()) break;
   }
   if (now_ < t) now_ = t;

@@ -7,6 +7,7 @@
 
 #include "common/units.h"
 #include "essd/essd_config.h"
+#include "sim/parallel.h"
 
 namespace uc::tenant {
 
@@ -271,13 +272,16 @@ ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt) {
   result.colocated = std::move(colocated.stats);
   result.backlog_peak = std::move(colocated.backlog_peak);
   result.traces = std::move(colocated.traces);
+  result.sim_events = sim.events_processed();
 
   if (opt.solo_baselines) {
-    result.solo.reserve(b.tenants.size());
-    for (std::size_t i = 0; i < b.tenants.size(); ++i) {
-      result.solo.push_back(
-          SharedClusterHost::run_solo(b.base, b.tenants[i], i));
-    }
+    result.solo.resize(b.tenants.size());
+    // Each solo builds its own private simulator, so baselines fan out on
+    // the parallel executor; one thread reproduces today's sequential loop.
+    sim::ParallelExecutor exec(opt.threads);
+    exec.run_epoch(b.tenants.size(), [&](std::size_t i) {
+      result.solo[i] = SharedClusterHost::run_solo(b.base, b.tenants[i], i);
+    });
   }
   result.report =
       build_fairness_report(b.tenants, result.colocated, result.solo);

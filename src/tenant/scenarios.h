@@ -75,6 +75,13 @@ struct ScenarioOptions {
   double rate_scale = 1.0;
   /// Optional per-tenant cap on replayed events (0 = whole trace).
   std::uint64_t replay_events = 0;
+
+  /// Worker threads for the parallel engine (`sim::ParallelExecutor`).
+  /// 1 (the default) keeps every run on today's single-simulator paths,
+  /// byte for byte.  > 1 fans solo baselines out per tenant and — in
+  /// `placement::run_placement_scenario` — runs the fleet as a
+  /// `placement::ShardedHost`, one shard simulator per cluster group.
+  int threads = 1;
 };
 
 struct ScenarioResult {
@@ -94,6 +101,9 @@ struct ScenarioResult {
   net::FabricStats fabric;
   sched::Policy policy = sched::Policy::kFifo;  ///< policy this run used
   SimTime makespan = 0;  ///< measured-window duration
+  /// Events the host simulator processed (fill + measure) — the events/sec
+  /// numerator for the bench JSON contract.
+  std::uint64_t sim_events = 0;
 };
 
 /// The raw scenario ingredients — the shared-cluster base profile (with the

@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
+#include "contract/replay.h"
 #include "essd/essd_device.h"
+#include "placement/placement.h"
 #include "ssd/ssd_device.h"
+#include "tenant/scenarios.h"
 #include "tenant/tenant.h"
 #include "workload/runner.h"
 
@@ -147,6 +151,85 @@ TEST(Determinism, ThreeTenantSeedsDiverge) {
   const auto a = run_three_tenants(1);
   const auto b = run_three_tenants(2);
   EXPECT_NE(a.makespan, b.makespan);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine: the determinism matrix.  The same 4-cluster replay fleet
+// runs at 1/2/4/8 threads; per-shard digests, the merged fairness report,
+// the contract verdicts, and the event totals must all be identical.
+// threads=1 takes the single-simulator `MultiClusterHost` path, so this is
+// also the sharded-vs-legacy equivalence proof, not just shard scheduling.
+// ---------------------------------------------------------------------------
+
+placement::PlacementScenarioResult run_replay_fleet(int threads) {
+  placement::PlacementScenarioOptions opt;
+  opt.base.quick = true;
+  opt.base.solo_baselines = false;  // covered by the scenario suites
+  opt.base.replay = true;
+  opt.base.replay_events = 3000;
+  opt.base.threads = threads;
+  opt.placement.clusters = 4;  // 3 tenants -> one cluster stays idle
+  opt.placement.policy = placement::Policy::kSpread;
+  return placement::run_placement_scenario(tenant::Scenario::kFairShare, opt);
+}
+
+TEST(Determinism, ParallelReplayMatrixIsThreadCountInvariant) {
+  const auto base = run_replay_fleet(1);
+  ASSERT_EQ(base.shard_digest.size(), 4u);  // one shard per cluster
+  ASSERT_EQ(base.tenants.size(), 3u);
+
+  contract::ReplayCheckConfig check;
+  check.budget_gbs = 0.05;  // tight budget so violations actually fire
+  check.budget_iops = 2000;
+  std::vector<contract::ReplayVerdict> base_verdicts;
+  for (std::size_t i = 0; i < base.tenants.size(); ++i) {
+    base_verdicts.push_back(contract::evaluate_replay(
+        base.traces[i], base.colocated[i], base.backlog_peak[i], check));
+  }
+
+  for (const int threads : {2, 4, 8}) {
+    const auto r = run_replay_fleet(threads);
+    EXPECT_EQ(base.shard_digest, r.shard_digest) << "threads " << threads;
+    EXPECT_EQ(base.sim_events, r.sim_events) << "threads " << threads;
+    EXPECT_EQ(base.makespan, r.makespan);
+    EXPECT_EQ(base.final_cluster, r.final_cluster);
+    EXPECT_EQ(base.initial_cluster, r.initial_cluster);
+
+    // Merged fairness report.
+    EXPECT_DOUBLE_EQ(base.report.jain_index, r.report.jain_index);
+    EXPECT_DOUBLE_EQ(base.report.aggregate_gbs, r.report.aggregate_gbs);
+    ASSERT_EQ(base.report.tenants.size(), r.report.tenants.size());
+    for (std::size_t i = 0; i < base.report.tenants.size(); ++i) {
+      const auto& a = base.report.tenants[i];
+      const auto& b = r.report.tenants[i];
+      EXPECT_EQ(a.ops, b.ops) << "tenant " << i;
+      EXPECT_DOUBLE_EQ(a.mean_us, b.mean_us);
+      EXPECT_DOUBLE_EQ(a.p99_us, b.p99_us);
+      EXPECT_DOUBLE_EQ(a.throughput_gbs, b.throughput_gbs);
+      EXPECT_DOUBLE_EQ(a.share, b.share);
+      EXPECT_DOUBLE_EQ(a.slowdown_p99_us, b.slowdown_p99_us);
+    }
+
+    // Contract verdicts over the merged replay outcomes.
+    ASSERT_EQ(r.traces.size(), base_verdicts.size());
+    for (std::size_t i = 0; i < base_verdicts.size(); ++i) {
+      const auto v = contract::evaluate_replay(r.traces[i], r.colocated[i],
+                                               r.backlog_peak[i], check);
+      const auto& want = base_verdicts[i];
+      EXPECT_DOUBLE_EQ(want.offered_gbs, v.offered_gbs) << "tenant " << i;
+      EXPECT_DOUBLE_EQ(want.achieved_gbs, v.achieved_gbs);
+      EXPECT_DOUBLE_EQ(want.slowdown_p50_ms, v.slowdown_p50_ms);
+      EXPECT_DOUBLE_EQ(want.slowdown_p99_ms, v.slowdown_p99_ms);
+      EXPECT_EQ(want.backlog_peak, v.backlog_peak);
+      ASSERT_EQ(want.violations.size(), v.violations.size()) << "tenant " << i;
+      for (std::size_t k = 0; k < want.violations.size(); ++k) {
+        EXPECT_EQ(want.violations[k].rule, v.violations[k].rule);
+        EXPECT_DOUBLE_EQ(want.violations[k].severity,
+                         v.violations[k].severity);
+        EXPECT_EQ(want.violations[k].detail, v.violations[k].detail);
+      }
+    }
+  }
 }
 
 TEST(Determinism, DeviceSeedChangesOutcome) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -94,6 +95,95 @@ TEST(PlanPlacement, LeastWeightBalancesWeights) {
   // ...so the three light tenants share cluster 1.
   EXPECT_EQ(placement::plan_placement(cfg, tenants),
             (std::vector<int>{0, 1, 1, 1}));
+}
+
+TEST(PlanPlacement, FixedAssignmentBypassesThePolicy) {
+  placement::PlacementConfig cfg;
+  cfg.clusters = 3;
+  cfg.policy = placement::Policy::kSpread;  // would give {0, 1, 2, 0}
+  cfg.fixed_assignment = {2, 2, 0, 1};
+  std::vector<tenant::TenantSpec> tenants(4);
+  for (auto& t : tenants) t.capacity_bytes = 64 * kMiB;
+  EXPECT_EQ(placement::plan_placement(cfg, tenants),
+            (std::vector<int>{2, 2, 0, 1}));
+}
+
+TEST(ShardPlan, OneShardPerClusterWithoutRebalancing) {
+  placement::PlacementConfig cfg;
+  cfg.clusters = 4;
+  const placement::ShardPlan plan = placement::compute_shard_plan(cfg);
+  ASSERT_EQ(plan.shards(), 4u);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(plan.first_cluster[static_cast<std::size_t>(c)], c);
+    EXPECT_EQ(plan.clusters[static_cast<std::size_t>(c)], 1);
+    EXPECT_EQ(plan.shard_of_cluster(c), c);
+  }
+}
+
+TEST(ShardPlan, RebalancingFleetCoShards) {
+  // Live migration touches source and destination clusters inside one
+  // simulator, so a rebalancing fleet must stay on a single shard.
+  placement::PlacementConfig cfg;
+  cfg.clusters = 4;
+  cfg.rebalance_watermark = 1.25;
+  const placement::ShardPlan plan = placement::compute_shard_plan(cfg);
+  ASSERT_EQ(plan.shards(), 1u);
+  EXPECT_EQ(plan.first_cluster[0], 0);
+  EXPECT_EQ(plan.clusters[0], 4);
+  EXPECT_EQ(plan.shard_of_cluster(3), 0);
+}
+
+TEST(ShardPlan, SingleClusterIsOneShard) {
+  placement::PlacementConfig cfg;
+  cfg.clusters = 1;
+  const placement::ShardPlan plan = placement::compute_shard_plan(cfg);
+  ASSERT_EQ(plan.shards(), 1u);
+  EXPECT_EQ(plan.clusters[0], 1);
+}
+
+TEST(ShardedHost, MergesIdenticallyToSingleSimulatorHost) {
+  // Three tenants over three clusters, one tenant each: the sharded run's
+  // merged result must match the single-simulator host field for field,
+  // including the per-shard digests computed from either side.
+  std::vector<tenant::TenantSpec> tenants;
+  tenants.push_back(small_tenant("a", 64 * kMiB, 400, 11));
+  tenants.push_back(small_tenant("b", 64 * kMiB, 400, 22));
+  tenants.push_back(small_tenant("c", 64 * kMiB, 400, 33));
+  placement::PlacementConfig cfg;
+  cfg.clusters = 3;
+  cfg.policy = placement::Policy::kSpread;
+  essd::EssdConfig base = essd::aws_io2_profile(64 * kMiB);
+  base.cluster.spare_pool_bytes = 192 * kMiB;
+
+  sim::Simulator sim;
+  placement::MultiClusterHost single(sim, base, tenants, cfg);
+  const placement::PlacementResult a = single.run();
+
+  sim::ParallelExecutor exec(4);
+  placement::ShardedHost fleet(base, tenants, cfg);
+  const placement::PlacementResult b = fleet.run(exec);
+  fleet.check_invariants();
+  EXPECT_EQ(exec.epochs(), 2u);  // fill + measure
+
+  EXPECT_EQ(a.measure_start, b.measure_start);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.initial_cluster, b.initial_cluster);
+  EXPECT_EQ(a.final_cluster, b.final_cluster);
+  ASSERT_EQ(a.stats.size(), b.stats.size());
+  for (std::size_t i = 0; i < a.stats.size(); ++i) {
+    EXPECT_EQ(a.stats[i].last_complete, b.stats[i].last_complete) << i;
+    EXPECT_EQ(a.stats[i].write_bytes, b.stats[i].write_bytes);
+    EXPECT_EQ(a.stats[i].read_bytes, b.stats[i].read_bytes);
+    EXPECT_DOUBLE_EQ(a.stats[i].all_latency.mean(),
+                     b.stats[i].all_latency.mean());
+    EXPECT_EQ(a.backlog_peak[i], b.backlog_peak[i]);
+  }
+  const placement::ShardPlan plan = placement::compute_shard_plan(cfg);
+  EXPECT_EQ(placement::shard_digests(plan, a), placement::shard_digests(plan, b));
+
+  // Solo baselines agree too (same global seeds through the shard hosts).
+  EXPECT_EQ(single.run_solo(1).last_complete, fleet.run_solo(1).last_complete);
 }
 
 TEST(PrioScheduler, MigrationIsTheLowestClass) {

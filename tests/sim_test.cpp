@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
 #include "sim/latency_model.h"
+#include "sim/parallel.h"
 #include "sim/resources.h"
 #include "sim/simulator.h"
 
@@ -144,6 +147,215 @@ TEST(LatencyModel, SpikesInflateTail) {
   }
   EXPECT_LT(base_max, 300 * kUs);
   EXPECT_GT(spiky_max, 1000 * kUs);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property test: the kernel against a naive reference model.
+// ---------------------------------------------------------------------------
+
+// The reference is deliberately dumb: a flat list scanned for the earliest
+// live (time, id) pair on every fire.  Anything the priority queue, the
+// lazy-cancel set, or the clock rules get wrong shows up as a divergence.
+class ReferenceModel {
+ public:
+  void schedule(SimTime t, std::uint64_t id) { pending_.push_back({t, id}); }
+
+  // Cancelling something already fired (not pending any more) is a no-op.
+  void cancel(std::uint64_t id) {
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [id](const Ref& e) { return e.id == id; }),
+                   pending_.end());
+  }
+
+  // Fires everything with time <= `t` in (time, id) order, appending ids to
+  // `out`; `on_fire` may schedule more (chained events).  Mirrors
+  // `Simulator::run_until`: the clock then advances to `t`.
+  void run_until(SimTime t, std::vector<std::uint64_t>* out,
+                 const std::function<void(std::uint64_t)>& on_fire = {}) {
+    while (fire_next(t, out, on_fire)) {
+    }
+    if (now_ < t) now_ = t;
+  }
+
+  // Mirrors `Simulator::run`: drains, clock stops at the last fired event.
+  void run(std::vector<std::uint64_t>* out,
+           const std::function<void(std::uint64_t)>& on_fire = {}) {
+    while (fire_next(kNoLimit, out, on_fire)) {
+    }
+  }
+
+  SimTime now() const { return now_; }
+
+ private:
+  struct Ref {
+    SimTime time;
+    std::uint64_t id;
+  };
+  static constexpr SimTime kNoLimit = static_cast<SimTime>(-1);
+
+  bool fire_next(SimTime t, std::vector<std::uint64_t>* out,
+                 const std::function<void(std::uint64_t)>& on_fire) {
+    std::size_t best = pending_.size();
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].time > t) continue;
+      if (best == pending_.size() ||
+          pending_[i].time < pending_[best].time ||
+          (pending_[i].time == pending_[best].time &&
+           pending_[i].id < pending_[best].id)) {
+        best = i;
+      }
+    }
+    if (best == pending_.size()) return false;
+    const Ref e = pending_[best];
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+    now_ = e.time;
+    out->push_back(e.id);
+    if (on_fire) on_fire(e.id);
+    return true;
+  }
+
+  std::vector<Ref> pending_;
+  SimTime now_ = 0;
+};
+
+TEST(SimulatorProperty, RandomInterleavingsMatchReference) {
+  for (const std::uint64_t seed : {1ull, 42ull, 0x5eedull, 77777ull}) {
+    Rng rng(seed);
+    Simulator sim;
+    ReferenceModel ref;
+    std::vector<std::uint64_t> fired_sim;
+    std::vector<std::uint64_t> fired_ref;
+    std::vector<EventId> issued;
+    std::uint64_t next_tag = 1;  // mirrors the simulator's id counter
+
+    for (int op = 0; op < 3000; ++op) {
+      const std::uint64_t r = rng.uniform_u64(100);
+      if (r < 55 || issued.empty()) {
+        // Tight time range so equal-timestamp collisions are common and the
+        // FIFO tie-break is exercised constantly.
+        const SimTime t = sim.now() + rng.uniform_u64(16);
+        const std::uint64_t tag = next_tag++;
+        const EventId id = sim.schedule_at(
+            t, [&fired_sim, tag] { fired_sim.push_back(tag); });
+        ASSERT_EQ(id, tag);
+        ref.schedule(t, tag);
+        issued.push_back(id);
+      } else if (r < 75) {
+        // Cancel anything ever issued: pending, already fired (must be a
+        // no-op), or already cancelled (idempotent).
+        const EventId id = issued[rng.uniform_u64(issued.size())];
+        sim.cancel(id);
+        ref.cancel(id);
+      } else {
+        const SimTime t = sim.now() + rng.uniform_u64(24);
+        sim.run_until(t);
+        ref.run_until(t, &fired_ref);
+        ASSERT_EQ(fired_sim, fired_ref) << "seed " << seed << " op " << op;
+        ASSERT_EQ(sim.now(), ref.now());
+      }
+    }
+    sim.run();
+    ref.run(&fired_ref);
+    EXPECT_EQ(fired_sim, fired_ref) << "seed " << seed;
+    EXPECT_EQ(sim.now(), ref.now());
+    EXPECT_EQ(sim.events_processed(), fired_sim.size());
+  }
+}
+
+TEST(SimulatorProperty, ChainedSchedulingMatchesReference) {
+  for (const std::uint64_t seed : {3ull, 2026ull}) {
+    Rng rng(seed);
+    Simulator sim;
+    ReferenceModel ref;
+    std::vector<std::uint64_t> fired_sim;
+    std::vector<std::uint64_t> fired_ref;
+    std::uint64_t next_sim_tag = 1;
+    std::uint64_t next_ref_tag = 1;
+
+    // Every third event chains a follower at fire time; the follower's
+    // delay depends only on its parent's tag.  Both sides fire in the same
+    // global order, so their id counters advance in lockstep — any ordering
+    // bug desynchronizes the ids immediately.
+    std::function<void(std::uint64_t)> fire_sim =
+        [&](std::uint64_t tag) {
+          fired_sim.push_back(tag);
+          if (tag % 3 == 0) {
+            const std::uint64_t child = next_sim_tag++;
+            sim.schedule_at(sim.now() + tag % 7,
+                            [&fire_sim, child] { fire_sim(child); });
+          }
+        };
+    const auto on_ref_fire = [&](std::uint64_t tag) {
+      if (tag % 3 == 0) {
+        const std::uint64_t child = next_ref_tag++;
+        ref.schedule(ref.now() + tag % 7, child);
+      }
+    };
+
+    for (int i = 0; i < 200; ++i) {
+      const SimTime t = rng.uniform_u64(50);
+      const std::uint64_t tag = next_sim_tag++;
+      next_ref_tag++;
+      ASSERT_EQ(sim.schedule_at(t, [&fire_sim, tag] { fire_sim(tag); }), tag);
+      ref.schedule(t, tag);
+    }
+    sim.run();
+    ref.run(&fired_ref, on_ref_fire);
+    EXPECT_EQ(fired_sim, fired_ref) << "seed " << seed;
+    EXPECT_EQ(sim.now(), ref.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelExecutor: the epoch primitive under the engine.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExecutor, RunsEveryShardOnceAtAnyThreadCount) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ParallelExecutor exec(threads);
+    EXPECT_EQ(exec.threads(), threads);
+    constexpr std::size_t kShards = 13;  // more shards than workers
+    std::vector<int> hits(kShards, 0);   // distinct slots; join = barrier
+    exec.run_epoch(kShards, [&hits](std::size_t s) { hits[s] += 1; });
+    EXPECT_EQ(exec.epochs(), 1u);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      EXPECT_EQ(hits[s], 1) << "shard " << s << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelExecutor, ShardResultsIndependentOfThreadCount) {
+  // Each shard runs its own simulator; the outputs must not depend on which
+  // worker ran the shard or how many ran concurrently.
+  const auto run_fleet = [](int threads) {
+    ParallelExecutor exec(threads);
+    std::vector<std::uint64_t> out(6, 0);
+    exec.run_epoch(out.size(), [&out](std::size_t s) {
+      Simulator sim;
+      Rng rng(1000 + s);
+      std::uint64_t acc = 0;
+      for (std::uint64_t i = 0; i < 200; ++i) {
+        sim.schedule_at(rng.uniform_u64(50),
+                        [&acc, i] { acc = acc * 31 + i; });
+      }
+      sim.run();
+      out[s] = acc ^ sim.events_processed() ^ sim.now();
+    });
+    return out;
+  };
+  const std::vector<std::uint64_t> sequential = run_fleet(1);
+  EXPECT_EQ(sequential, run_fleet(2));
+  EXPECT_EQ(sequential, run_fleet(4));
+  EXPECT_EQ(sequential, run_fleet(8));
+}
+
+TEST(ParallelExecutor, ClampsThreadsAndCountsEpochs) {
+  ParallelExecutor exec(0);
+  EXPECT_EQ(exec.threads(), 1);
+  exec.run_epoch(0, [](std::size_t) { FAIL() << "no shards to run"; });
+  exec.run_epoch(3, [](std::size_t) {});
+  EXPECT_EQ(exec.epochs(), 2u);
+  EXPECT_GE(ParallelExecutor::max_threads(), 1);
 }
 
 }  // namespace
