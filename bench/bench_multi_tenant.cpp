@@ -65,6 +65,20 @@ bench::Json tenant_json(const tenant::TenantMetrics& m, bool replay = false) {
   return t;
 }
 
+// Measured-window occupancy of the shared cluster resources, with one slice
+// per `sched::IoClass` (slices sum to <= total: untagged legacy acquires
+// carry no class).
+bench::Json busy_json(const ebs::ClusterBusyStats& busy) {
+  bench::Json b = bench::Json::object();
+  b.set("total", busy.busy_ns);
+  b.set("stall", busy.stall_ns);
+  for (int c = 0; c < sched::kIoClassCount; ++c) {
+    b.set(sched::io_class_name(static_cast<sched::IoClass>(c)),
+          busy.class_busy_ns[static_cast<std::size_t>(c)]);
+  }
+  return b;
+}
+
 bench::Json fabric_json(const tenant::ScenarioResult& r) {
   bench::Json f = bench::Json::object();
   f.set("vm_tx_bytes", r.fabric.vm_tx_bytes);
@@ -104,6 +118,7 @@ bench::Json scenario_json(const tenant::ScenarioResult& r) {
   cluster.set("tenant_segments_cleaned", std::move(gc));
   s.set("cluster", std::move(cluster));
   s.set("fabric", fabric_json(r));
+  s.set("busy_ns", busy_json(r.busy));
   bench::Json tenants = bench::Json::array();
   for (const auto& m : r.report.tenants) tenants.push(tenant_json(m));
   s.set("tenants", std::move(tenants));
@@ -202,6 +217,16 @@ bench::Json placement_scenario_json(
   }
   s.set("migration_pages_copied", pages_copied);
   s.set("migration_frozen_ms", static_cast<double>(frozen_ns) / 1e6);
+  ebs::ClusterBusyStats busy_sum;
+  for (const auto& b : r.busy) {
+    busy_sum.busy_ns += b.busy_ns;
+    busy_sum.stall_ns += b.stall_ns;
+    for (int c = 0; c < sched::kIoClassCount; ++c) {
+      busy_sum.class_busy_ns[static_cast<std::size_t>(c)] +=
+          b.class_busy_ns[static_cast<std::size_t>(c)];
+    }
+  }
+  s.set("busy_ns", busy_json(busy_sum));
   bench::Json tenants = bench::Json::array();
   for (const auto& m : r.report.tenants) tenants.push(tenant_json(m));
   s.set("tenants", std::move(tenants));

@@ -32,11 +32,29 @@ def check_tenant(path, tenant):
             fail(path, f"tenant missing '{key}'")
 
 
+IO_CLASSES = ("fg-read", "fg-write", "cleaner-gc", "prefetch", "migration")
+
+
+def check_busy(path, busy, where):
+    """Shared-resource occupancy with per-IoClass slices (ns)."""
+    if not isinstance(busy, dict):
+        fail(path, f"{where}.busy_ns must be an object")
+    for key in ("total", "stall") + IO_CLASSES:
+        if key not in busy:
+            fail(path, f"{where}.busy_ns missing '{key}'")
+    # Untagged legacy acquires carry no class, so the slices sum to <= total
+    # (1 ns of slack for the integer accumulation).
+    sliced = sum(busy[c] for c in IO_CLASSES)
+    if sliced > busy["total"] + 1:
+        fail(path, f"{where}.busy_ns class slices exceed the total")
+
+
 def check_scenario(path, s):
     for key in ("name", "policy", "jain_index", "aggregate_gbs", "makespan_s",
-                "cluster", "fabric", "tenants"):
+                "cluster", "fabric", "busy_ns", "tenants"):
         if key not in s:
             fail(path, f"scenario '{s.get('name')}' missing '{key}'")
+    check_busy(path, s["busy_ns"], f"scenario '{s['name']}'")
     for key in ("stalled_writes", "append_stall_ms", "segments_cleaned",
                 "tenant_segments_cleaned"):
         if key not in s["cluster"]:
@@ -56,9 +74,10 @@ def check_placement_scenario(path, s):
                 "victim_mean_interference", "per_cluster_jain",
                 "per_cluster_aggregate_gbs", "initial_cluster",
                 "final_cluster", "migrations", "migration_pages_copied",
-                "migration_frozen_ms", "tenants"):
+                "migration_frozen_ms", "busy_ns", "tenants"):
         if key not in s:
             fail(path, f"placement scenario '{s.get('name')}' missing '{key}'")
+    check_busy(path, s["busy_ns"], f"placement scenario '{s['name']}'")
     if len(s["per_cluster_jain"]) != len(s["per_cluster_aggregate_gbs"]):
         fail(path, "per-cluster arrays disagree on the cluster count")
     if len(s["initial_cluster"]) != len(s["final_cluster"]):
@@ -432,8 +451,66 @@ def check_trace_replay(path, metrics):
             check_violations(path, t["violations"])
 
 
+def check_fleet_leg(path, leg, where):
+    for key in ("policy", "worst_p999_us", "worst_slowdown_p999_us",
+                "worst_tenant", "mean_p999_us", "active_tenants",
+                "jain_clusters", "aggregate_gbs", "migrations",
+                "peak_concurrent_migrations", "migration_bytes_copied",
+                "makespan_s", "wall_s", "sim_events", "events_per_sec",
+                "busy_ns", "digests"):
+        if key not in leg:
+            fail(path, f"{where} missing '{key}'")
+    if leg["sim_events"] <= 0 or leg["events_per_sec"] <= 0:
+        fail(path, f"{where} must report positive event counts/rates")
+    if leg["active_tenants"] <= 0 or leg["worst_p999_us"] <= 0:
+        fail(path, f"{where} must have measured at least one tenant")
+    if not (0.0 < leg["jain_clusters"] <= 1.0 + 1e-9):
+        fail(path, f"{where} jain_clusters out of (0, 1]")
+    digests = leg["digests"]
+    if (not isinstance(digests, list) or not digests
+            or not all(isinstance(d, str) and len(d) == 16 for d in digests)):
+        fail(path, f"{where}.digests must be non-empty 16-hex-char strings")
+    check_busy(path, leg["busy_ns"], where)
+
+
+def check_fleet(path, metrics):
+    fleet = metrics.get("fleet")
+    if not isinstance(fleet, dict):
+        fail(path, "metrics.fleet must be an object")
+    for key in ("clusters", "tenants", "threads", "total_capacity_bytes",
+                "churned_tenants", "policies", "delta", "rebalance"):
+        if key not in fleet:
+            fail(path, f"metrics.fleet missing '{key}'")
+    policies = fleet["policies"]
+    if not isinstance(policies, list) or len(policies) != 2:
+        fail(path, "metrics.fleet.policies must hold the two static legs")
+    for leg in policies:
+        check_fleet_leg(path, leg, f"fleet policy '{leg.get('policy')}'")
+    delta = fleet["delta"]
+    for key in ("baseline", "candidate", "worst_p999_ratio",
+                "candidate_wins"):
+        if key not in delta:
+            fail(path, f"metrics.fleet.delta missing '{key}'")
+    rebalance = fleet["rebalance"]
+    check_fleet_leg(path, rebalance, "fleet rebalance leg")
+    for key in ("watermark", "budget"):
+        if key not in rebalance:
+            fail(path, f"fleet rebalance leg missing '{key}'")
+    budget = rebalance["budget"]
+    for key in ("max_concurrent", "copy_bandwidth_bps", "max_total"):
+        if key not in budget:
+            fail(path, f"fleet rebalance budget missing '{key}'")
+    # The budget is a hard cap, not advisory: a document recording a
+    # violation is itself invalid.
+    if rebalance["peak_concurrent_migrations"] > budget["max_concurrent"]:
+        fail(path, "fleet rebalance exceeded MigrationBudget.max_concurrent")
+    if budget["max_total"] > 0 and rebalance["migrations"] > budget["max_total"]:
+        fail(path, "fleet rebalance exceeded MigrationBudget.max_total")
+
+
 CHECKS = {
     "multi_tenant": check_multi_tenant,
+    "fleet": check_fleet,
     "fig2_latency": check_fig2,
     "table1": check_table1,
     "fig3_gc": check_fig3,

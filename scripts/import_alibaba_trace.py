@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Converts public Alibaba-style block traces into the docs/TRACES.md CSV.
+
+Input rows (CSV, optionally preceded by a header line):
+    device_id,offset,length,op,timestamp
+with byte offsets/lengths, `R`/`W` (or `read`/`write`) op codes, and
+microsecond timestamps — the layout of the public Alibaba cloud-disk
+traces (Li et al.).  Output is the repo's replay format:
+    arrival_ns,op,offset,bytes
+one device per output file, timestamps rebased to zero and scaled to
+nanoseconds, offsets/lengths rounded to the 4 KiB logical page, rows
+sorted by arrival.
+
+Usage:
+    scripts/import_alibaba_trace.py INPUT.csv --device DEV -o OUT.csv \
+        [--capacity BYTES] [--time-unit us] [--max-events N]
+
+    --device DEV      device_id to extract (one volume per output file);
+                      omit to list the devices present and exit
+    --capacity BYTES  wrap offsets with `offset % capacity` (keeps the
+                      spatial skew when the source volume is larger than
+                      the simulated one); must be a 4 KiB multiple
+    --time-unit       us (default), ms, ns, or s — the source timestamp unit
+    --max-events N    keep only the first N events after filtering
+
+Stdlib only; exits 1 with a line-numbered message on malformed input.
+"""
+import argparse
+import csv
+import sys
+
+PAGE = 4096
+TIME_SCALE = {"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
+OPS = {"R": "R", "W": "W", "READ": "R", "WRITE": "W"}
+
+
+def die(msg):
+    print(f"import_alibaba_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_rows(path):
+    """Yields (line_number, device, offset, length, op, timestamp)."""
+    with open(path, newline="") as f:
+        for lineno, row in enumerate(csv.reader(f), start=1):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            if len(row) != 5:
+                die(f"{path}:{lineno}: expected 5 columns, got {len(row)}")
+            dev, offset, length, op, ts = (c.strip() for c in row)
+            op = OPS.get(op.upper())
+            if op is None:
+                if lineno == 1:
+                    continue  # header line
+                die(f"{path}:{lineno}: unknown op code {row[3]!r}")
+            try:
+                yield lineno, dev, int(offset), int(length), op, int(ts)
+            except ValueError:
+                die(f"{path}:{lineno}: non-integer offset/length/timestamp")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("input")
+    ap.add_argument("--device", help="device_id to extract")
+    ap.add_argument("-o", "--output", help="output CSV path (default stdout)")
+    ap.add_argument("--capacity", type=int, default=0,
+                    help="wrap offsets modulo this many bytes")
+    ap.add_argument("--time-unit", choices=sorted(TIME_SCALE), default="us")
+    ap.add_argument("--max-events", type=int, default=0)
+    args = ap.parse_args()
+
+    if args.capacity and args.capacity % PAGE != 0:
+        die("--capacity must be a 4 KiB multiple")
+    scale = TIME_SCALE[args.time_unit]
+
+    if args.device is None:
+        devices = {}
+        for _, dev, *_ in parse_rows(args.input):
+            devices[dev] = devices.get(dev, 0) + 1
+        for dev in sorted(devices):
+            print(f"{dev}\t{devices[dev]} events")
+        if not devices:
+            die("no events found")
+        return
+
+    events = []
+    for lineno, dev, offset, length, op, ts in parse_rows(args.input):
+        if dev != args.device:
+            continue
+        if length <= 0:
+            die(f"{args.input}:{lineno}: non-positive length")
+        if offset < 0 or ts < 0:
+            die(f"{args.input}:{lineno}: negative offset/timestamp")
+        # Page-round: align the offset down, widen the length to cover the
+        # same bytes, then round it up to whole pages.
+        head = offset % PAGE
+        offset -= head
+        length = ((length + head + PAGE - 1) // PAGE) * PAGE
+        if args.capacity:
+            offset %= args.capacity
+            length = min(length, args.capacity - offset)
+        events.append((ts * scale, op, offset, length))
+    if not events:
+        die(f"device {args.device!r} has no events")
+
+    events.sort(key=lambda e: e[0])
+    t0 = events[0][0]
+    if args.max_events > 0:
+        events = events[: args.max_events]
+
+    out = open(args.output, "w", newline="") if args.output else sys.stdout
+    try:
+        out.write("arrival_ns,op,offset,bytes\n")
+        for ts, op, offset, length in events:
+            out.write(f"{ts - t0},{op},{offset},{length}\n")
+    finally:
+        if args.output:
+            out.close()
+            print(f"wrote {len(events)} events to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

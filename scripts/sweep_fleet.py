@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Parameter-sweep driver for bench_fleet: reruns the bench across cluster
+counts (and optionally seeds), validates each JSON document, and collates
+the per-policy rows into one table / JSONL stream.
+
+Usage:
+    scripts/sweep_fleet.py [--bench build/bench_fleet] [--quick]
+        [--clusters 16,32,64] [--tenants-per-cluster 16] [--threads 4]
+        [--seeds 7] [--out sweep_fleet.jsonl]
+
+Each run contributes one row per leg (least-loaded, least-interference,
+rebalance) with the fleet's tail-of-tails and churn metrics; the summary
+table prints the worst-tenant p99.9 ratio (baseline / candidate) per
+fleet size — the headline scaling artifact.
+
+Stdlib only.  Exits non-zero if any bench run or schema validation fails.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "check_bench_json.py")
+
+
+def run_one(bench, clusters, tenants, threads, seed, quick):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        path = tmp.name
+    cmd = [bench, "--clusters", str(clusters), "--tenants", str(tenants),
+           "--threads", str(threads), "--seed", str(seed), "--json", path]
+    cmd.append("--quick" if quick else "--full")
+    try:
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        subprocess.run([sys.executable, CHECKER, path], check=True,
+                       stdout=subprocess.DEVNULL)
+        with open(path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(path)
+
+
+def rows_from(doc, seed):
+    fleet = doc["metrics"]["fleet"]
+    legs = list(fleet["policies"]) + [fleet["rebalance"]]
+    names = [leg["policy"] for leg in fleet["policies"]] + ["rebalance"]
+    for name, leg in zip(names, legs):
+        yield {
+            "clusters": fleet["clusters"],
+            "tenants": fleet["tenants"],
+            "seed": seed,
+            "leg": name,
+            "worst_p999_us": leg["worst_p999_us"],
+            "mean_p999_us": leg["mean_p999_us"],
+            "jain_clusters": leg["jain_clusters"],
+            "aggregate_gbs": leg["aggregate_gbs"],
+            "migrations": leg["migrations"],
+            "peak_concurrent_migrations": leg["peak_concurrent_migrations"],
+            "wall_s": leg["wall_s"],
+            "events_per_sec": leg["events_per_sec"],
+        }
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--bench", default="build/bench_fleet")
+    ap.add_argument("--clusters", default="16,32,64",
+                    help="comma-separated cluster counts")
+    ap.add_argument("--tenants-per-cluster", type=int, default=16)
+    ap.add_argument("--threads", type=int, default=4)
+    ap.add_argument("--seeds", default="7", help="comma-separated seeds")
+    ap.add_argument("--quick", action="store_true",
+                    help="pass --quick through to the bench")
+    ap.add_argument("--out", help="append collated rows as JSONL")
+    args = ap.parse_args()
+
+    cluster_counts = [int(c) for c in args.clusters.split(",")]
+    seeds = [int(s) for s in args.seeds.split(",")]
+    rows = []
+    for clusters in cluster_counts:
+        tenants = clusters * args.tenants_per_cluster
+        for seed in seeds:
+            print(f"sweep: {clusters} clusters x {tenants} tenants, "
+                  f"seed {seed} ...", flush=True)
+            doc = run_one(args.bench, clusters, tenants, args.threads, seed,
+                          args.quick)
+            rows.extend(rows_from(doc, seed))
+
+    if args.out:
+        with open(args.out, "a") as f:
+            for row in rows:
+                f.write(json.dumps(row) + "\n")
+        print(f"appended {len(rows)} rows to {args.out}")
+
+    header = (f"{'clusters':>8} {'tenants':>8} {'seed':>6} {'leg':<20} "
+              f"{'worst p999 us':>14} {'jain':>7} {'migr':>5} {'evts/s':>10}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['clusters']:>8} {row['tenants']:>8} {row['seed']:>6} "
+              f"{row['leg']:<20} {row['worst_p999_us']:>14.0f} "
+              f"{row['jain_clusters']:>7.4f} {row['migrations']:>5} "
+              f"{row['events_per_sec']:>10.0f}")
+
+    # Headline: candidate-vs-baseline worst-tenant p99.9 per fleet size.
+    by_size = {}
+    for row in rows:
+        by_size.setdefault((row["clusters"], row["seed"]), {})[row["leg"]] = \
+            row["worst_p999_us"]
+    for (clusters, seed), legs in sorted(by_size.items()):
+        base = legs.get("least-loaded", 0.0)
+        cand = legs.get("least-interference", 0.0)
+        if base > 0 and cand > 0:
+            print(f"{clusters} clusters (seed {seed}): least-interference "
+                  f"worst p99.9 is {base / cand:.2f}x vs least-loaded")
+
+
+if __name__ == "__main__":
+    main()

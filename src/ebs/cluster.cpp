@@ -553,6 +553,40 @@ ClusterStats subtract(const ClusterStats& a, const ClusterStats& b) {
   return d;
 }
 
+ClusterBusyStats subtract(const ClusterBusyStats& a,
+                          const ClusterBusyStats& b) {
+  ClusterBusyStats d;
+  d.busy_ns = a.busy_ns - b.busy_ns;
+  for (int c = 0; c < sched::kIoClassCount; ++c) {
+    d.class_busy_ns[static_cast<std::size_t>(c)] =
+        a.class_busy_ns[static_cast<std::size_t>(c)] -
+        b.class_busy_ns[static_cast<std::size_t>(c)];
+  }
+  d.stall_ns = a.stall_ns - b.stall_ns;
+  return d;
+}
+
+ClusterBusyStats StorageCluster::busy_stats() const {
+  ClusterBusyStats s;
+  const auto add = [&s](const sched::QueuedResource& q) {
+    s.busy_ns += q.busy_time();
+    for (int c = 0; c < sched::kIoClassCount; ++c) {
+      s.class_busy_ns[static_cast<std::size_t>(c)] +=
+          q.class_busy_time(static_cast<sched::IoClass>(c));
+    }
+  };
+  for (const auto& r : node_append_) add(r.sched());
+  for (const auto& r : node_read_) add(r.sched());
+  add(cleaner_->pipe());
+  s.busy_ns += fabric_.total_busy_ns();
+  for (int c = 0; c < sched::kIoClassCount; ++c) {
+    s.class_busy_ns[static_cast<std::size_t>(c)] +=
+        fabric_.class_busy_ns(static_cast<sched::IoClass>(c));
+  }
+  s.stall_ns = stats_.append_stall_ns;
+  return s;
+}
+
 std::uint64_t StorageCluster::attached_bytes() const {
   std::uint64_t total = 0;
   for (const auto& v : volumes_) total += v->bytes;

@@ -19,6 +19,7 @@
 /// `uc::tenant` scenario.  The single-volume constructor preserves the
 /// original one-volume-per-cluster behaviour bit for bit.
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -108,6 +109,27 @@ struct ClusterStats {
 /// Component-wise `a - b` for measurement windows (mirrors `net::subtract`).
 ClusterStats subtract(const ClusterStats& a, const ClusterStats& b);
 
+/// Occupancy of everything the cluster owns — node append/read pipelines,
+/// NIC pipes, and the cleaner's bandwidth — summed cluster-wide, with
+/// per-`sched::IoClass` slices and the segment-pool stall time alongside.
+/// This is the interference *signal* the placement layer steers by
+/// (`placement::Policy::kLeastInterference`): a cluster hot on busy or
+/// stall time is a bad home for a new volume even when its attached bytes
+/// look modest.  Legacy untagged reservations carry no class, so the class
+/// slices sum to at most `busy_ns`.
+struct ClusterBusyStats {
+  SimTime busy_ns = 0;
+  std::array<SimTime, sched::kIoClassCount> class_busy_ns{};
+  SimTime stall_ns = 0;  ///< cumulative segment-pool append-stall time
+
+  /// Scalar steering signal: total occupancy plus stall time (a stalled
+  /// cluster is maximally contended even while its pipes idle).
+  SimTime signal() const { return busy_ns + stall_ns; }
+};
+
+/// Component-wise `a - b` for measurement windows.
+ClusterBusyStats subtract(const ClusterBusyStats& a, const ClusterBusyStats& b);
+
 class StorageCluster {
  public:
   /// Multi-volume cluster: starts with only the shared spare pool (plus the
@@ -174,6 +196,9 @@ class StorageCluster {
     return volume(vol).stats;
   }
   const net::Fabric& fabric() const { return fabric_; }
+  /// Cumulative occupancy across every shared resource (subtract two
+  /// snapshots to scope a measurement or rebalance window).
+  ClusterBusyStats busy_stats() const;
 
   std::uint32_t volume_count() const {
     return static_cast<std::uint32_t>(volumes_.size());

@@ -122,6 +122,21 @@ FabricStats Fabric::stats() const {
   return s;
 }
 
+SimTime Fabric::total_busy_ns() const {
+  SimTime total = vm_tx_.busy_time() + vm_rx_.busy_time();
+  for (const auto& p : node_tx_) total += p.busy_time();
+  for (const auto& p : node_rx_) total += p.busy_time();
+  return total;
+}
+
+SimTime Fabric::class_busy_ns(sched::IoClass c) const {
+  SimTime total =
+      vm_tx_.sched().class_busy_time(c) + vm_rx_.sched().class_busy_time(c);
+  for (const auto& p : node_tx_) total += p.sched().class_busy_time(c);
+  for (const auto& p : node_rx_) total += p.sched().class_busy_time(c);
+  return total;
+}
+
 FabricStats subtract(const FabricStats& a, const FabricStats& b) {
   // `b` may be a smaller (or default-constructed) snapshot; missing
   // entries subtract as zero.

@@ -105,6 +105,13 @@ class Fabric {
   /// scope a measurement window).
   FabricStats stats() const;
 
+  /// Total occupancy across every NIC pipe (VM-side + all nodes, both
+  /// directions) — one addend of `ebs::StorageCluster::busy_stats()`.
+  SimTime total_busy_ns() const;
+  /// The same total sliced by traffic class (untagged legacy transfers
+  /// carry no class, so the slices sum to at most `total_busy_ns()`).
+  SimTime class_busy_ns(sched::IoClass c) const;
+
  private:
   sim::LatencyModel hop_model_;
   Rng rng_;

@@ -10,7 +10,8 @@ VolumeMigrator::VolumeMigrator(sim::Simulator& sim, essd::EssdDevice& device,
                                ebs::StorageCluster& src, ebs::VolumeId src_vol,
                                ebs::StorageCluster& dst, ebs::VolumeId dst_vol,
                                const MigrationConfig& cfg,
-                               std::function<void()> done)
+                               std::function<void()> done,
+                               MigrationPacer* pacer)
     : sim_(sim),
       device_(device),
       src_(src),
@@ -19,6 +20,7 @@ VolumeMigrator::VolumeMigrator(sim::Simulator& sim, essd::EssdDevice& device,
       dst_vol_(dst_vol),
       cfg_(cfg),
       done_(std::move(done)),
+      pacer_(pacer),
       capacity_bytes_(src.volume_bytes(src_vol)) {
   UC_ASSERT(&src_ != &dst_, "migration needs two distinct clusters");
   UC_ASSERT(dst_.volume_bytes(dst_vol_) == capacity_bytes_,
@@ -84,18 +86,30 @@ void VolumeMigrator::scan_from(ByteOffset offset, bool frozen_pass) {
     pass_copied_pages_ += pages;
     // Copy: read the fragment off the source cluster, then append it to the
     // target with the source stamps.  Both legs are `kMigration`-tagged, so
-    // they queue like any other traffic on the shared pipes.
-    src_.read(
-        src_vol_, offset, bytes,
-        [this, offset, bytes, stamp, frozen_pass] {
-          dst_.write(
-              dst_vol_, offset, bytes, stamp,
-              [this, offset, bytes, frozen_pass] {
-                scan_from(offset + bytes, frozen_pass);
-              },
-              sched::IoClass::kMigration);
-        },
-        sched::IoClass::kMigration);
+    // they queue like any other traffic on the shared pipes.  A configured
+    // pacer first reserves the fragment on the host-wide copy budget, which
+    // is what keeps N concurrent migrations from stampeding the fleet.
+    const auto issue = [this, offset, bytes, stamp, frozen_pass] {
+      src_.read(
+          src_vol_, offset, bytes,
+          [this, offset, bytes, stamp, frozen_pass] {
+            dst_.write(
+                dst_vol_, offset, bytes, stamp,
+                [this, offset, bytes, frozen_pass] {
+                  scan_from(offset + bytes, frozen_pass);
+                },
+                sched::IoClass::kMigration);
+          },
+          sched::IoClass::kMigration);
+    };
+    if (pacer_ != nullptr) {
+      const SimTime at = pacer_->reserve(sim_.now(), bytes);
+      if (at > sim_.now()) {
+        sim_.schedule_at(at, issue);
+        return;
+      }
+    }
+    issue();
     return;  // resume from the copy's completion
   }
   finish_pass(frozen_pass);

@@ -45,6 +45,35 @@ struct MigrationConfig {
   bool release_source = true;
 };
 
+/// Shared copy-bandwidth governor: every copy fragment of every concurrent
+/// migration on a host reserves its transmission time on one serialized
+/// budget, so N in-flight migrations together never offer more than
+/// `bytes_per_s` of copy traffic.  This caps what migration *adds* to the
+/// fleet; the sched layer still arbitrates what that traffic *gets* on each
+/// shared pipe.  A zero budget is unpaced (fragments issue back to back,
+/// the original behaviour).
+class MigrationPacer {
+ public:
+  explicit MigrationPacer(double bytes_per_s = 0.0)
+      : bytes_per_s_(bytes_per_s) {}
+
+  /// Reserves a fragment of `bytes` arriving at `now`; returns the time the
+  /// fragment may issue (>= now, monotone across reservations).
+  SimTime reserve(SimTime now, std::uint64_t bytes) {
+    if (bytes_per_s_ <= 0.0) return now;
+    const SimTime start = now > next_free_ ? now : next_free_;
+    next_free_ = start + static_cast<SimTime>(static_cast<double>(bytes) *
+                                              1e9 / bytes_per_s_);
+    return start;
+  }
+
+  double bytes_per_s() const { return bytes_per_s_; }
+
+ private:
+  double bytes_per_s_;
+  SimTime next_free_ = 0;
+};
+
 struct MigrationStats {
   std::uint64_t pages_copied = 0;
   std::uint64_t bytes_copied = 0;
@@ -62,10 +91,13 @@ struct MigrationStats {
 /// the cutover (the device is already thawed).
 class VolumeMigrator {
  public:
+  /// `pacer` (optional, host-owned, shared across concurrent migrators)
+  /// paces every copy fragment against the host's copy-bandwidth budget.
   VolumeMigrator(sim::Simulator& sim, essd::EssdDevice& device,
                  ebs::StorageCluster& src, ebs::VolumeId src_vol,
                  ebs::StorageCluster& dst, ebs::VolumeId dst_vol,
-                 const MigrationConfig& cfg, std::function<void()> done);
+                 const MigrationConfig& cfg, std::function<void()> done,
+                 MigrationPacer* pacer = nullptr);
 
   void start();
   bool finished() const { return finished_; }
@@ -88,6 +120,7 @@ class VolumeMigrator {
   ebs::VolumeId dst_vol_;
   MigrationConfig cfg_;
   std::function<void()> done_;
+  MigrationPacer* pacer_;  ///< null = unpaced
   MigrationStats stats_;
   std::uint64_t capacity_bytes_ = 0;
   std::uint64_t pass_copied_pages_ = 0;

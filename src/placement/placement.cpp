@@ -21,6 +21,8 @@ const char* policy_name(Policy p) {
       return "least-loaded";
     case Policy::kLeastLoadedWeight:
       return "least-weight";
+    case Policy::kLeastInterference:
+      return "least-interference";
   }
   return "unknown";
 }
@@ -34,6 +36,8 @@ bool parse_policy(const std::string& text, Policy* out) {
     *out = Policy::kLeastLoadedBytes;
   } else if (text == "least-weight") {
     *out = Policy::kLeastLoadedWeight;
+  } else if (text == "least-interference") {
+    *out = Policy::kLeastInterference;
   } else {
     return false;
   }
@@ -42,7 +46,32 @@ bool parse_policy(const std::string& text, Policy* out) {
 
 std::vector<Policy> all_policies() {
   return {Policy::kSpread, Policy::kPack, Policy::kLeastLoadedBytes,
-          Policy::kLeastLoadedWeight};
+          Policy::kLeastLoadedWeight, Policy::kLeastInterference};
+}
+
+double expected_offered_bps(const tenant::TenantSpec& t) {
+  const wl::LoadSpec& l = t.load;
+  if (l.open_loop && l.trace_path.empty()) {
+    // Synthetic replay: the generator states the offered load outright.
+    double mean_bytes = static_cast<double>(kLogicalPageBytes);
+    if (!l.gen.size_mix.empty()) {
+      double weight_sum = 0.0;
+      double byte_sum = 0.0;
+      for (const auto& [bytes, w] : l.gen.size_mix) {
+        weight_sum += w;
+        byte_sum += static_cast<double>(bytes) * w;
+      }
+      if (weight_sum > 0.0) mean_bytes = byte_sum / weight_sum;
+    }
+    const double burst_duty = std::min(
+        1.0, l.gen.bursts_per_s * static_cast<double>(l.gen.burst_duration) /
+                 1e9);
+    const double iops = l.gen.base_iops + burst_duty * l.gen.burst_iops;
+    return iops * mean_bytes * l.rate_scale;
+  }
+  // CSV replays and closed-loop jobs: the provisioned byte budget is the
+  // best prior for what the tenant may offer.
+  return t.qos.bw_bytes_per_s;
 }
 
 std::vector<int> plan_placement(
@@ -57,6 +86,7 @@ std::vector<int> plan_placement(
   const auto k = static_cast<std::size_t>(cfg.clusters);
   std::vector<std::uint64_t> bytes(k, 0);
   std::vector<double> weight(k, 0.0);
+  std::vector<double> offered(k, 0.0);
   std::vector<int> out;
   out.reserve(tenants.size());
 
@@ -98,9 +128,18 @@ std::vector<int> plan_placement(
         pick = static_cast<int>(best);
         break;
       }
+      case Policy::kLeastInterference: {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < k; ++c) {
+          if (offered[c] < offered[best]) best = c;
+        }
+        pick = static_cast<int>(best);
+        break;
+      }
     }
     bytes[static_cast<std::size_t>(pick)] += t.capacity_bytes;
     weight[static_cast<std::size_t>(pick)] += t.weight;
+    offered[static_cast<std::size_t>(pick)] += expected_offered_bps(t);
     out.push_back(pick);
   }
   return out;
@@ -120,10 +159,18 @@ MultiClusterHost::MultiClusterHost(sim::Simulator& sim,
                                    const essd::EssdConfig& base,
                                    std::vector<tenant::TenantSpec> tenants,
                                    const PlacementConfig& cfg)
-    : sim_(sim), base_(base), cfg_(cfg), tenants_(std::move(tenants)) {
+    : sim_(sim),
+      base_(base),
+      cfg_(cfg),
+      tenants_(std::move(tenants)),
+      pacer_(cfg.budget.copy_bandwidth_bps) {
   UC_ASSERT(!tenants_.empty(), "host needs at least one tenant");
+  UC_ASSERT(cfg_.budget.max_concurrent >= 1,
+            "migration budget needs at least one slot");
   initial_cluster_ = plan_placement(cfg_, tenants_);
   cluster_of_ = initial_cluster_;
+  migrating_.assign(tenants_.size(), false);
+  migrated_.assign(tenants_.size(), false);
 
   // Fold each cluster's WFQ weights in local attach order (exactly the
   // SharedClusterHost fold when there is one cluster).
@@ -166,8 +213,30 @@ bool MultiClusterHost::all_runners_finished() const {
   return true;
 }
 
+int MultiClusterHost::active_migrations() const {
+  int active = 0;
+  for (const auto& m : migrators_) {
+    if (!m->finished()) ++active;
+  }
+  return active;
+}
+
+bool MultiClusterHost::under_migration_budget() const {
+  if (active_migrations() >= cfg_.budget.max_concurrent) return false;
+  if (cfg_.budget.max_total > 0 &&
+      static_cast<int>(records_.size()) >= cfg_.budget.max_total) {
+    return false;
+  }
+  return true;
+}
+
 bool MultiClusterHost::maybe_rebalance() {
-  if (migrator_ != nullptr && !migrator_->finished()) return false;
+  if (!under_migration_budget()) return false;
+  return cfg_.policy == Policy::kLeastInterference ? maybe_rebalance_signal()
+                                                   : maybe_rebalance_bytes();
+}
+
+bool MultiClusterHost::maybe_rebalance_bytes() {
   const auto k = static_cast<std::size_t>(cfg_.clusters);
   std::vector<std::uint64_t> bytes(k, 0);
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
@@ -189,6 +258,7 @@ bool MultiClusterHost::maybe_rebalance() {
   std::size_t pick = tenants_.size();
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     if (static_cast<std::size_t>(cluster_of_[i]) != busiest) continue;
+    if (migrating_[i]) continue;  // mid-copy volumes are not re-picked
     if (sources_[i]->finished()) continue;
     if (pick == tenants_.size() ||
         tenants_[i].capacity_bytes > tenants_[pick].capacity_bytes) {
@@ -211,6 +281,50 @@ bool MultiClusterHost::maybe_rebalance() {
   return true;
 }
 
+bool MultiClusterHost::maybe_rebalance_signal() {
+  // Windowed busy/stall deltas since the previous check: occupancy is
+  // cumulative, so diffing consecutive snapshots yields "how contended was
+  // this cluster over the last rebalance interval" — the live analogue of
+  // the planning-time expected load.
+  const auto k = static_cast<std::size_t>(cfg_.clusters);
+  if (signal_at_check_.size() != k) signal_at_check_.assign(k, 0);
+  std::vector<SimTime> delta(k, 0);
+  SimTime total = 0;
+  std::size_t busiest = 0;
+  std::size_t coolest = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const SimTime now_signal = clusters_[c]->busy_stats().signal();
+    delta[c] = now_signal - signal_at_check_[c];
+    signal_at_check_[c] = now_signal;
+    total += delta[c];
+    if (delta[c] > delta[busiest]) busiest = c;
+    if (delta[c] < delta[coolest]) coolest = c;
+  }
+  if (total == 0 || busiest == coolest) return false;
+  const double mean = static_cast<double>(total) / static_cast<double>(k);
+  if (static_cast<double>(delta[busiest]) <= cfg_.rebalance_watermark * mean) {
+    return false;
+  }
+  // Move the expectedly-hottest still-running volume.  Each tenant moves at
+  // most once per run: the signal window is noisy enough that a volume
+  // bounced twice is churn, not repair.
+  std::size_t pick = tenants_.size();
+  double pick_bps = 0.0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (static_cast<std::size_t>(cluster_of_[i]) != busiest) continue;
+    if (migrating_[i] || migrated_[i]) continue;
+    if (sources_[i]->finished()) continue;
+    const double bps = expected_offered_bps(tenants_[i]);
+    if (pick == tenants_.size() || bps > pick_bps) {
+      pick = i;
+      pick_bps = bps;
+    }
+  }
+  if (pick == tenants_.size()) return false;
+  start_migration(pick, static_cast<int>(coolest));
+  return true;
+}
+
 void MultiClusterHost::start_migration(std::size_t tenant, int to_cluster) {
   const int from = cluster_of_[tenant];
   auto& src = *clusters_[static_cast<std::size_t>(from)];
@@ -224,14 +338,22 @@ void MultiClusterHost::start_migration(std::size_t tenant, int to_cluster) {
   dst.set_volume_weight(dst_vol, tenants_[tenant].weight);
   records_.push_back(MigrationRecord{tenant, from, to_cluster, {}});
   const std::size_t record = records_.size() - 1;
-  migrator_ = std::make_unique<VolumeMigrator>(
+  migrating_[tenant] = true;
+  auto migrator = std::make_unique<VolumeMigrator>(
       sim_, *devices_[tenant], src, volume_of_[tenant], dst, dst_vol,
-      cfg_.migration, [this, tenant, to_cluster, dst_vol, record] {
+      cfg_.migration,
+      [this, tenant, to_cluster, dst_vol, record] {
         cluster_of_[tenant] = to_cluster;
         volume_of_[tenant] = dst_vol;
-        records_[record].stats = migrator_->stats();
-      });
-  migrator_->start();
+        migrating_[tenant] = false;
+        migrated_[tenant] = true;
+        records_[record].stats = record_migrator_[record]->stats();
+      },
+      pacer_.bytes_per_s() > 0.0 ? &pacer_ : nullptr);
+  record_migrator_.push_back(migrator.get());
+  migrators_.push_back(std::move(migrator));
+  peak_concurrent_ = std::max(peak_concurrent_, active_migrations());
+  migrators_.back()->start();
 }
 
 void MultiClusterHost::schedule_rebalance_check() {
@@ -269,12 +391,22 @@ PlacementResult MultiClusterHost::run_measure(SimTime measure_start) {
   result.measure_start = sim_.now();
   std::vector<ebs::ClusterStats> cluster_before;
   std::vector<ebs::CleanerStats> cleaner_before;
+  std::vector<ebs::ClusterBusyStats> busy_before;
   for (const auto& c : clusters_) {
     cluster_before.push_back(c->stats());
     cleaner_before.push_back(c->cleaner().stats());
+    busy_before.push_back(c->busy_stats());
   }
   for (auto& source : sources_) source->start();
   if (cfg_.clusters > 1 && cfg_.rebalance_watermark > 1.0) {
+    if (cfg_.policy == Policy::kLeastInterference) {
+      // Signal baseline: the first rebalance window opens at measure start,
+      // not at simulator time zero, so fill-phase occupancy never counts.
+      signal_at_check_.clear();
+      for (const auto& c : clusters_) {
+        signal_at_check_.push_back(c->busy_stats().signal());
+      }
+    }
     schedule_rebalance_check();
   }
   sim_.run();
@@ -290,11 +422,14 @@ PlacementResult MultiClusterHost::run_measure(SimTime measure_start) {
   result.initial_cluster = initial_cluster_;
   result.final_cluster = cluster_of_;
   result.migrations = records_;
+  result.peak_concurrent_migrations = peak_concurrent_;
   for (std::size_t c = 0; c < clusters_.size(); ++c) {
     result.cluster.push_back(
         ebs::subtract(clusters_[c]->stats(), cluster_before[c]));
     result.cleaner.push_back(
         ebs::subtract(clusters_[c]->cleaner().stats(), cleaner_before[c]));
+    result.busy.push_back(
+        ebs::subtract(clusters_[c]->busy_stats(), busy_before[c]));
   }
   result.sim_events = sim_.events_processed();
   return result;
@@ -505,6 +640,7 @@ PlacementResult ShardedHost::run(sim::ParallelExecutor& exec) {
   result.final_cluster.resize(n);
   result.cluster.resize(static_cast<std::size_t>(cfg_.clusters));
   result.cleaner.resize(static_cast<std::size_t>(cfg_.clusters));
+  result.busy.resize(static_cast<std::size_t>(cfg_.clusters));
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const Shard& sh = shards_[s];
     if (sh.host == nullptr) continue;
@@ -521,12 +657,16 @@ PlacementResult ShardedHost::run(sim::ParallelExecutor& exec) {
       const auto gc = static_cast<std::size_t>(sh.first_cluster + c);
       result.cluster[gc] = r.cluster[static_cast<std::size_t>(c)];
       result.cleaner[gc] = std::move(r.cleaner[static_cast<std::size_t>(c)]);
+      result.busy[gc] = r.busy[static_cast<std::size_t>(c)];
     }
     for (const MigrationRecord& m : r.migrations) {
       result.migrations.push_back(MigrationRecord{
           sh.tenant[m.tenant], m.from_cluster + sh.first_cluster,
           m.to_cluster + sh.first_cluster, m.stats});
     }
+    result.peak_concurrent_migrations =
+        std::max(result.peak_concurrent_migrations,
+                 r.peak_concurrent_migrations);
     result.makespan = std::max(result.makespan, r.makespan);
     result.sim_events += r.sim_events;
   }
@@ -580,6 +720,7 @@ PlacementScenarioResult run_placement_scenario(
   result.migrations = std::move(run.migrations);
   result.cluster = std::move(run.cluster);
   result.cleaner = std::move(run.cleaner);
+  result.busy = std::move(run.busy);
   result.colocated = std::move(run.stats);
   result.backlog_peak = std::move(run.backlog_peak);
   result.traces = std::move(run.traces);

@@ -43,12 +43,39 @@ enum class Policy {
   kPack,              ///< first cluster with room (`pack_limit_bytes`)
   kLeastLoadedBytes,  ///< cluster with the fewest attached bytes
   kLeastLoadedWeight, ///< cluster with the smallest summed tenant weight
+  /// Interference-aware: initial placement greedily levels the tenants'
+  /// *expected offered load* (`expected_offered_bps`) instead of their
+  /// attached bytes — a hot 8 GiB volume outweighs a cold 1 TiB one — and
+  /// watermark rebalancing steers by each cluster's measured busy/stall
+  /// signal (`ebs::ClusterBusyStats::signal()` deltas between checks)
+  /// rather than by capacity.
+  kLeastInterference,
 };
 
 const char* policy_name(Policy p);
-/// Parses "spread" / "pack" / "least-loaded" / "least-weight".
+/// Parses "spread" / "pack" / "least-loaded" / "least-weight" /
+/// "least-interference".
 bool parse_policy(const std::string& text, Policy* out);
 std::vector<Policy> all_policies();
+
+/// The load a tenant is expected to offer, in bytes/s — the planning
+/// signal of `Policy::kLeastInterference`.  Synthetic open-loop tenants
+/// estimate from their generator (base + burst-duty IOPS x mean I/O size,
+/// at the replay's rate scale); everything else falls back to the
+/// provisioned QoS byte budget.
+double expected_offered_bps(const tenant::TenantSpec& t);
+
+/// Caps how much repair the control plane may do at once: watermark
+/// rebalancing never holds more than `max_concurrent` live migrations, all
+/// concurrent copy streams share one `copy_bandwidth_bps` budget
+/// (`MigrationPacer`; 0 = unpaced), and a run performs at most `max_total`
+/// migrations (0 = unbounded).  The defaults reproduce the pre-budget
+/// behaviour: one migration at a time, back-to-back copy fragments.
+struct MigrationBudget {
+  int max_concurrent = 1;
+  double copy_bandwidth_bps = 0.0;
+  int max_total = 0;
+};
 
 /// Per-cluster seed stride: cluster `c` of a multi-cluster host derives its
 /// placement and jitter streams from `seed + c * stride`, so cluster 0
@@ -72,6 +99,9 @@ struct PlacementConfig {
   SimTime rebalance_interval = 50 * units::kMs;
 
   MigrationConfig migration;
+  /// Concurrency / copy-bandwidth caps on rebalancing (defaults reproduce
+  /// the single-migration, unpaced behaviour exactly).
+  MigrationBudget budget;
 
   /// Shard construction (set by `ShardedHost`, not by end users): this
   /// host's cluster `c` is cluster `first_cluster + c` of the fleet, so its
@@ -108,11 +138,19 @@ struct PlacementResult {
   std::vector<int> initial_cluster;
   std::vector<int> final_cluster;
   std::vector<MigrationRecord> migrations;
+  /// Most live migrations in flight at once — must never exceed the
+  /// configured `MigrationBudget::max_concurrent`.
+  int peak_concurrent_migrations = 0;
   SimTime makespan = 0;
   SimTime measure_start = 0;
   /// Per-cluster activity within the measured window.
   std::vector<ebs::ClusterStats> cluster;
   std::vector<ebs::CleanerStats> cleaner;
+  /// Per-cluster shared-resource occupancy (busy + stall, per-class slices)
+  /// over the same window — the interference signal, reported but *not*
+  /// digest-mixed (digests pin tenant- and cluster-observable outcomes;
+  /// occupancy is derived accounting).
+  std::vector<ebs::ClusterBusyStats> busy;
   /// Events processed by the host simulator(s) over fill + measure — the
   /// numerator of the parallel engine's events/sec trajectory.  Sharded
   /// runs sum their shard simulators; the total matches the single-sim run
@@ -155,10 +193,16 @@ class MultiClusterHost {
   }
   const essd::EssdDevice& device(std::size_t i) const { return *devices_[i]; }
   const std::vector<MigrationRecord>& migrations() const { return records_; }
+  /// Live migrations currently copying (started, not yet cut over).
+  int active_migrations() const;
+  int peak_concurrent_migrations() const { return peak_concurrent_; }
 
-  /// One watermark check right now; starts (at most) one migration.
-  /// Returns whether it did.  The periodic timer calls this between
-  /// completed migrations.
+  /// One watermark check right now; starts (at most) one migration, within
+  /// the configured `MigrationBudget`.  Returns whether it did.  Bytes-
+  /// driven policies keep the original largest-volume-off-the-biggest-
+  /// cluster repair; `kLeastInterference` moves the expectedly-hottest
+  /// volume off the cluster with the largest busy/stall delta since the
+  /// previous check.
   bool maybe_rebalance();
 
   /// Solo baseline for tenant `i`: alone on a private cluster derived from
@@ -172,6 +216,10 @@ class MultiClusterHost {
   void start_migration(std::size_t tenant, int to_cluster);
   void schedule_rebalance_check();
   bool all_runners_finished() const;
+  /// Budget admission shared by both rebalance paths.
+  bool under_migration_budget() const;
+  bool maybe_rebalance_bytes();
+  bool maybe_rebalance_signal();
 
   sim::Simulator& sim_;
   essd::EssdConfig base_;
@@ -185,8 +233,18 @@ class MultiClusterHost {
   std::vector<std::unique_ptr<ebs::StorageCluster>> clusters_;
   std::vector<std::unique_ptr<essd::EssdDevice>> devices_;
   std::vector<std::unique_ptr<wl::LoadSource>> sources_;
-  std::unique_ptr<VolumeMigrator> migrator_;  ///< at most one at a time
+  /// Live migrations, up to `budget.max_concurrent` unfinished at a time;
+  /// finished migrators are kept (their stats back the records).
+  std::vector<std::unique_ptr<VolumeMigrator>> migrators_;
+  std::vector<VolumeMigrator*> record_migrator_;  ///< records_[i]'s migrator
+  MigrationPacer pacer_;  ///< shared copy-bandwidth budget
   std::vector<MigrationRecord> records_;
+  std::vector<bool> migrating_;  ///< tenant currently mid-migration
+  std::vector<bool> migrated_;   ///< tenant already moved once (signal path)
+  /// Per-cluster busy/stall signal at the previous rebalance check — the
+  /// baseline the signal-driven path diffs against.
+  std::vector<SimTime> signal_at_check_;
+  int peak_concurrent_ = 0;
   bool filled_ = false;
   bool ran_ = false;
 };
@@ -290,6 +348,7 @@ struct PlacementScenarioResult {
   std::vector<MigrationRecord> migrations;
   std::vector<ebs::ClusterStats> cluster;
   std::vector<ebs::CleanerStats> cleaner;
+  std::vector<ebs::ClusterBusyStats> busy;
   SimTime makespan = 0;
   /// Per-shard FNV digests (`shard_digests` over `compute_shard_plan`) and
   /// total simulator events — always computed, so single- and multi-thread

@@ -269,6 +269,7 @@ ScenarioResult run_scenario(Scenario s, const ScenarioOptions& opt) {
   result.cluster = colocated.cluster;
   result.cleaner = colocated.cleaner;
   result.fabric = colocated.fabric;
+  result.busy = colocated.busy;
   result.colocated = std::move(colocated.stats);
   result.backlog_peak = std::move(colocated.backlog_peak);
   result.traces = std::move(colocated.traces);

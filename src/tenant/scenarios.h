@@ -99,6 +99,8 @@ struct ScenarioResult {
   ebs::ClusterStats cluster;
   ebs::CleanerStats cleaner;
   net::FabricStats fabric;
+  /// Shared-resource occupancy with per-IoClass slices, same window.
+  ebs::ClusterBusyStats busy;
   sched::Policy policy = sched::Policy::kFifo;  ///< policy this run used
   SimTime makespan = 0;  ///< measured-window duration
   /// Events the host simulator processed (fill + measure) — the events/sec

@@ -97,6 +97,7 @@ HostResult SharedClusterHost::run() {
   const ebs::ClusterStats cluster_before = cluster_->stats();
   const ebs::CleanerStats cleaner_before = cluster_->cleaner().stats();
   const net::FabricStats fabric_before = cluster_->fabric().stats();
+  const ebs::ClusterBusyStats busy_before = cluster_->busy_stats();
   for (auto& source : sources_) source->start();
   sim_.run();
   result.stats.reserve(sources_.size());
@@ -112,6 +113,7 @@ HostResult SharedClusterHost::run() {
   result.cluster = subtract(cluster_->stats(), cluster_before);
   result.cleaner = subtract(cluster_->cleaner().stats(), cleaner_before);
   result.fabric = net::subtract(cluster_->fabric().stats(), fabric_before);
+  result.busy = subtract(cluster_->busy_stats(), busy_before);
   return result;
 }
 

@@ -68,6 +68,10 @@ struct HostResult {
   ebs::ClusterStats cluster;
   ebs::CleanerStats cleaner;
   net::FabricStats fabric;
+  /// Measured-window occupancy of the shared resources, with per-IoClass
+  /// slices — the bench JSON's `busy_ns` block and the signal the placement
+  /// layer's interference-aware policy steers by.
+  ebs::ClusterBusyStats busy;
 };
 
 /// Runs every tenant's precondition fill concurrently (tenant `i`'s device

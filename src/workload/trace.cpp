@@ -50,7 +50,9 @@ std::vector<TraceEvent> generate_trace(const TraceGenConfig& cfg,
   while (true) {
     t += rng.exponential(1.0 / max_rate);
     if (t >= duration_s) break;
-    const auto now = static_cast<SimTime>(t * 1e9);
+    // The diurnal and burst clocks run at absolute (fleet) time; only the
+    // thinning walk is window-relative.
+    const auto now = cfg.start_offset + static_cast<SimTime>(t * 1e9);
 
     // Burst process: re-draw burst starts lazily.
     while (next_burst_check <= now) {

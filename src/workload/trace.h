@@ -37,6 +37,13 @@ struct TraceGenConfig {
   SimTime duration = 60 * units::kSec;
   double base_iops = 3000.0;
 
+  /// Arrival timestamps are offset by this much, and the diurnal sinusoid is
+  /// evaluated at the *offset* (absolute) time — so a fleet of tenants with
+  /// different activity windows shares one fleet-wide diurnal clock, and a
+  /// late-arriving tenant's trace starts mid-cycle instead of restarting it.
+  /// 0 (the default) reproduces the original generator bit for bit.
+  SimTime start_offset = 0;
+
   /// rate(t) = base * (1 + amplitude * sin(2*pi*t/period)), floored at 5%.
   double diurnal_amplitude = 0.5;
   SimTime diurnal_period = 30 * units::kSec;
