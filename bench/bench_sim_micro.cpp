@@ -29,6 +29,140 @@
 namespace uc {
 namespace {
 
+// ---------------------------------------------------------------------------
+// BM_EventKernel: the kernel hot path in isolation.  Three legs bound the
+// three operations every model pays for: schedule+fire churn through a warm
+// queue (the steady-state replay shape), cancel-heavy churn (dispatch-timer
+// rearming), and a cold schedule-then-drain burst.  Rows carry `sim_events`
+// so main() derives events/sec against wall time; the trajectory file
+// (BENCH_TRAJECTORY.json) tracks these numbers across kernel changes.
+// ---------------------------------------------------------------------------
+
+// Every leg schedules callbacks carrying a 32-byte completion context —
+// owner, tag, issue time, transfer size — the capture shape the model's
+// real continuations have (`QueuedResource` grants, fabric hops, replay
+// arrivals).  That is the honest unit of work: captures this size defeat
+// `std::function`'s small-buffer optimisation, so a kernel that stores
+// callbacks inline wins exactly where production callbacks live.
+
+// Steady state: a ring of self-rescheduling events over a warm queue.  This
+// is the FIFO replay shape (constant pending population, every fire
+// schedules a successor) and the number the ≥2x rewrite target is pinned to.
+// The pending depth is the argument: 64 bounds a single device's timer
+// population, 4096 the sharded-fleet shape where sift depth and key traffic
+// dominate.  The ring is plain structs — no std::function in the loop — so
+// the measurement is the kernel, not the harness.
+void BM_EventKernelSteadyState(benchmark::State& state) {
+  const auto depth = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  struct Ring {
+    sim::Simulator& sim;
+    std::int64_t budget = 0;
+    std::uint64_t armed = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t acc = 0;
+    // Pseudo-random stride in [1, 64]: multiply-shift only, so the bench
+    // loop costs stay negligible next to the kernel work being measured.
+    SimTime next_stride() {
+      return static_cast<SimTime>(((armed * 2654435761u) >> 20 & 63) + 1);
+    }
+    void arm() {
+      const std::uint64_t tag = armed;
+      const SimTime issued = sim.now();
+      const std::uint64_t bytes = 4096 + (tag & 63) * 512;
+      sim.schedule_after(next_stride(), [this, tag, issued, bytes] {
+        acc += tag + bytes + static_cast<std::uint64_t>(sim.now() - issued);
+        fire();
+      });
+      ++armed;
+    }
+    void fire() {
+      ++fired;
+      if (--budget >= 0) arm();
+    }
+  } ring{sim};
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    // Re-arm the ring (the previous iteration drained it), then let every
+    // fire reschedule until the budget runs dry: depth + budget fires.
+    ring.budget = 4 * depth;
+    const std::uint64_t before = ring.fired;
+    for (int i = 0; i < depth; ++i) ring.arm();
+    sim.run();
+    events += ring.fired - before;
+  }
+  benchmark::DoNotOptimize(ring.fired);
+  benchmark::DoNotOptimize(ring.acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["sim_events"] =
+      benchmark::Counter(static_cast<double>(events));
+}
+BENCHMARK(BM_EventKernelSteadyState)->Arg(64)->Arg(4096)->UseRealTime();
+
+// Cancel churn: schedule a batch, cancel most of it, fire the rest.  Bounds
+// the dispatch-timer pattern (arm, then cancel-and-rearm when an earlier
+// completion arrives) and the cost of sweeping cancelled entries on pop.
+void BM_EventKernelCancelChurn(benchmark::State& state) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::uint64_t acc = 0;
+  std::vector<sim::EventId> ids;
+  ids.reserve(1024);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < 1024; ++i) {
+      const auto tag = static_cast<std::uint64_t>(i);
+      const std::uint64_t bytes = 4096 + (tag & 63) * 512;
+      ids.push_back(sim.schedule_after(
+          static_cast<SimTime>(i % 251 + 1), [&fired, &acc, tag, bytes] {
+            ++fired;
+            acc += tag + bytes;
+          }));
+    }
+    // Cancel 3 of every 4, scattered across the queue.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i % 4 != 0) sim.cancel(ids[i]);
+    }
+    sim.run();
+    events += 1024;  // schedules (cancelled or fired) per iteration
+  }
+  benchmark::DoNotOptimize(fired);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["sim_events"] =
+      benchmark::Counter(static_cast<double>(events));
+}
+BENCHMARK(BM_EventKernelCancelChurn)->UseRealTime();
+
+// Cold burst: build a 4096-event queue from empty, then drain it.  Stresses
+// sift depth at full population (heap layout) rather than the warm ring.
+void BM_EventKernelBurstDrain(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 4096; ++i) {
+      const auto tag = static_cast<std::uint64_t>(i);
+      const std::uint64_t bytes = 4096 + (tag & 63) * 512;
+      sim.schedule_after(static_cast<SimTime>(i * 29 % 1021),
+                         [&fired, &acc, tag, bytes] {
+                           ++fired;
+                           acc += tag + bytes;
+                         });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+    benchmark::DoNotOptimize(acc);
+    events += 4096;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["sim_events"] =
+      benchmark::Counter(static_cast<double>(events));
+}
+BENCHMARK(BM_EventKernelBurstDrain)->UseRealTime();
+
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;

@@ -336,6 +336,16 @@ def check_sim_micro(path, metrics):
     if parallel and len(parallel) < 3:
         fail(path, "BM_ParallelShardReplay must report all thread counts "
                    f"(got {len(parallel)} rows)")
+    # The event-kernel hot-path family: the trajectory artifact needs the
+    # steady-state, cancel-churn, and burst-drain rows together — a partial
+    # run would make before/after kernel comparisons meaningless.
+    kernel = {b["name"].split("/")[0] for b in benchmarks
+              if b["name"].startswith("BM_EventKernel")}
+    expected_kernel = {"BM_EventKernelSteadyState", "BM_EventKernelCancelChurn",
+                       "BM_EventKernelBurstDrain"}
+    if kernel and kernel != expected_kernel:
+        fail(path, "BM_EventKernel family incomplete: missing "
+                   f"{sorted(expected_kernel - kernel)}")
 
 
 def check_impl1(path, metrics):

@@ -152,28 +152,32 @@ void EssdDevice::submit_at(const IoRequest& req, SimTime submit_time,
       const sched::SchedTag tag{
           volume_, is_write ? sched::IoClass::kFgWrite : sched::IoClass::kFgRead,
           req.bytes};
-      qos_->admit(req.bytes, tag, [this, req, tag, is_write, submit_time,
-                                   done = std::move(done)]() mutable {
+      // The fragment-fan-out join state is allocated once up front (it
+      // existed anyway); every continuation below then captures only
+      // {this, join, is_write} and fits the kernel's inline callbacks.
+      struct Join {
+        int remaining = 0;
+        IoRequest req;
+        SimTime submit_time;
+        CompletionFn done;
+      };
+      auto join = std::make_shared<Join>();
+      join->req = req;
+      join->submit_time = submit_time;
+      join->done = std::move(done);
+      qos_->admit(req.bytes, tag, [this, tag, is_write, join]() mutable {
         // The block-server pipeline serializes per-op processing, then the
         // sampled software latency elapses before the cluster sees the op.
-        auto after_pipe = [this, req, is_write, submit_time,
-                           done = std::move(done)](SimTime piped) mutable {
-          const SimTime fw = is_write ? frontend_write_.sample(rng_, req.bytes)
-                                      : frontend_read_.sample(rng_, req.bytes);
-          sim_.schedule_at(piped + fw, [this, req, is_write, submit_time,
-                                        done = std::move(done)]() mutable {
-            struct Join {
-              int remaining = 0;
-              IoRequest req;
-              SimTime submit_time;
-              CompletionFn done;
-            };
-            auto join = std::make_shared<Join>();
-            join->req = req;
-            join->submit_time = submit_time;
-            join->done = std::move(done);
+        auto after_pipe = [this, is_write,
+                           join = std::move(join)](SimTime piped) mutable {
+          const SimTime fw = is_write
+                                 ? frontend_write_.sample(rng_, join->req.bytes)
+                                 : frontend_read_.sample(rng_, join->req.bytes);
+          sim_.schedule_at(piped + fw, [this, is_write,
+                                        join = std::move(join)] {
             join->remaining = for_each_fragment(
-                req.offset, req.bytes, [&](ByteOffset at, std::uint32_t len) {
+                join->req.offset, join->req.bytes,
+                [&](ByteOffset at, std::uint32_t len) {
                   auto on_frag = [this, join] {
                     if (--join->remaining == 0) {
                       complete(join->req, join->submit_time, join->done);
@@ -205,10 +209,11 @@ void EssdDevice::submit_at(const IoRequest& req, SimTime submit_time,
       // flush barrier has nothing left to wait for beyond the frontend.
       ++io_stats_.flushes;
       const SimTime fw = frontend_write_.sample(rng_, 0);
-      sim_.schedule_after(fw, [this, req, submit_time,
-                               done = std::move(done)]() mutable {
-        complete(req, submit_time, done);
-      });
+      sim_.schedule_after(
+          fw, sim::boxed([this, req, submit_time,
+                          done = std::move(done)]() mutable {
+            complete(req, submit_time, done);
+          }));
       break;
     }
     case IoOp::kTrim: {
@@ -218,10 +223,11 @@ void EssdDevice::submit_at(const IoRequest& req, SimTime submit_time,
                           cluster_->trim(volume_, at, len);
                         });
       const SimTime fw = frontend_write_.sample(rng_, 0);
-      sim_.schedule_after(fw, [this, req, submit_time,
-                               done = std::move(done)]() mutable {
-        complete(req, submit_time, done);
-      });
+      sim_.schedule_after(
+          fw, sim::boxed([this, req, submit_time,
+                          done = std::move(done)]() mutable {
+            complete(req, submit_time, done);
+          }));
       break;
     }
   }

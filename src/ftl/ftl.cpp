@@ -146,11 +146,11 @@ void Ftl::pump_flusher() {
                                         cfg_.geometry.planes_per_die);
     ++outstanding_flushes_;
     sim_.schedule_at(res.done,
-                     [this, row = *alloc, batch = std::move(batch),
-                      failed = res.failed, from_retry]() mutable {
+                     sim::boxed([this, row = *alloc, batch = std::move(batch),
+                                 failed = res.failed, from_retry]() mutable {
                        on_flush_programmed(row, std::move(batch), failed,
                                            from_retry);
-                     });
+                     }));
     gc_->maybe_start();
   }
 }

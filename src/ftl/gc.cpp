@@ -101,10 +101,10 @@ void GcController::flush_reloc_rows(bool force_partial) {
     ++programs_in_flight_;
     ++stats_.gc_row_programs;
     sim_.schedule_at(res.done,
-                     [this, row = *alloc, batch = std::move(batch),
-                      failed = res.failed]() mutable {
+                     sim::boxed([this, row = *alloc, batch = std::move(batch),
+                                 failed = res.failed]() mutable {
                        on_gc_program_done(row, std::move(batch), failed);
-                     });
+                     }));
   }
 }
 

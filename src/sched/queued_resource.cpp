@@ -6,10 +6,7 @@
 
 namespace uc::sched {
 
-QueuedResource::QueuedResource(int servers) {
-  UC_ASSERT(servers > 0, "need at least one server");
-  for (int i = 0; i < servers; ++i) free_at_.push(0);
-}
+QueuedResource::QueuedResource(int servers) : free_at_(servers) {}
 
 QueuedResource::QueuedResource(QueuedResource&& other) noexcept
     : sim_(other.sim_),
@@ -47,11 +44,10 @@ void QueuedResource::set_tenant_weight(std::uint32_t tenant, double weight) {
 
 SimTime QueuedResource::reserve(SimTime arrival, SimTime duration,
                                 const SchedTag& tag) {
-  const SimTime free = free_at_.top();
-  free_at_.pop();
+  const SimTime free = free_at_.min();
   const SimTime start = arrival > free ? arrival : free;
   const SimTime end = start + duration;
-  free_at_.push(end);
+  free_at_.replace_min(end);
   if (end > busy_until_) busy_until_ = end;
   busy_time_ += duration;
   class_busy_[static_cast<int>(tag.io_class)] += duration;
@@ -83,10 +79,11 @@ void QueuedResource::submit(SimTime arrival, const SchedTag& tag,
   }
   UC_ASSERT(sim_ != nullptr, "non-FIFO resource needs configure(sim, cfg)");
   if (arrival > sim_->now()) {
-    sim_->schedule_at(arrival, [this, tag, duration,
-                                g = std::move(grant)]() mutable {
-      enqueue(tag, duration, std::move(g));
-    });
+    sim_->schedule_at(arrival,
+                      sim::boxed([this, tag, duration,
+                                  g = std::move(grant)]() mutable {
+                        enqueue(tag, duration, std::move(g));
+                      }));
   } else {
     enqueue(tag, duration, std::move(grant));
   }
@@ -105,7 +102,7 @@ void QueuedResource::pump() {
   const SimTime now = sim_->now();
   // Serve while a server is free *now*; grants may synchronously enqueue
   // follow-on work, which the loop re-examines.
-  while (!sched_->empty() && free_at_.top() <= now) {
+  while (!sched_->empty() && free_at_.min() <= now) {
     Item item = sched_->pop(now);
     const SimTime finish = reserve(now, item.duration, item.tag);
     item.grant(finish);
@@ -113,7 +110,7 @@ void QueuedResource::pump() {
   pumping_ = false;
   if (sched_->empty() || timer_armed_) return;
   timer_armed_ = true;
-  sim_->schedule_at(free_at_.top(), [this] {
+  sim_->schedule_at(free_at_.min(), [this] {
     timer_armed_ = false;
     pump();
   });

@@ -20,10 +20,11 @@
 /// The resource also keeps per-class and per-tenant busy-time slices so a
 /// report can say who actually occupied the pipe.
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/status.h"
@@ -35,6 +36,45 @@ class Simulator;
 }  // namespace uc::sim
 
 namespace uc::sched {
+
+/// Per-server free horizons, sorted ascending.  Server counts are tiny (one
+/// for almost every resource; `cpu_workers` for the reducer), so the horizons
+/// live in an inline array — `min()` is a load and `replace_min()` a bounded
+/// shift, with no allocation unless a resource exceeds `kInline` servers.
+/// Replaces a `std::priority_queue<SimTime>` whose every reservation paid a
+/// heap sift; the multiset semantics are identical.
+class ServerHorizons {
+ public:
+  static constexpr std::size_t kInline = 8;
+
+  explicit ServerHorizons(int servers)
+      : size_(static_cast<std::size_t>(servers > 0 ? servers : 0)) {
+    UC_ASSERT(servers > 0, "need at least one server");
+    if (size_ > kInline) spill_.assign(size_, 0);
+  }
+
+  /// Earliest time any server is free.
+  SimTime min() const { return data()[0]; }
+
+  /// Pops the minimum and inserts `v`, keeping the array sorted.  One pass;
+  /// stable for equal horizons (same multiset as the old min-heap).
+  void replace_min(SimTime v) {
+    SimTime* d = data();
+    std::size_t i = 1;
+    for (; i < size_ && d[i] < v; ++i) d[i - 1] = d[i];
+    d[i - 1] = v;
+  }
+
+ private:
+  SimTime* data() { return size_ > kInline ? spill_.data() : inline_.data(); }
+  const SimTime* data() const {
+    return size_ > kInline ? spill_.data() : inline_.data();
+  }
+
+  std::size_t size_;
+  std::array<SimTime, kInline> inline_{};
+  std::vector<SimTime> spill_;
+};
 
 class QueuedResource {
  public:
@@ -96,7 +136,7 @@ class QueuedResource {
   sim::Simulator* sim_ = nullptr;
   SchedulerConfig cfg_;
   std::unique_ptr<Scheduler> sched_;  ///< null under FIFO (no queue needed)
-  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>> free_at_;
+  ServerHorizons free_at_;
   SimTime busy_until_ = 0;
   SimTime busy_time_ = 0;
   SimTime class_busy_[kIoClassCount] = {};

@@ -1,62 +1,116 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
 namespace uc::sim {
 
-EventId Simulator::schedule_at(SimTime t, Callback cb) {
-  UC_ASSERT(t >= now_, "cannot schedule events in the past");
-  const EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(cb)});
-  return id;
+void Simulator::grow_slab() {
+  UC_ASSERT(slab_size_ < kSlotMask, "event slab full (2^24 live events)");
+  chunks_.push_back(std::make_unique<CbSlot[]>(kChunkSize));
+  const std::uint32_t base = slab_size_;
+  slab_size_ += kChunkSize;
+  meta_.resize(slab_size_);
+  // Thread the fresh chunk onto the free list so slots hand out in
+  // ascending index order (top of the list = lowest index).
+  for (std::uint32_t i = kChunkSize; i-- > 0;) {
+    meta_[base + i].link = free_head_;
+    free_head_ = base + i;
+  }
 }
 
-void Simulator::cancel(EventId id) {
-  if (id == kInvalidEvent) return;
-  cancelled_.insert(id);
+void Simulator::heap_pop_min() {
+  const Key last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == kHeapRoot) return;
+  // Bottom-up sift (Wegener): walk the min-child path all the way to a
+  // leaf moving holes — no compare against `last` per level — then bubble
+  // `last` back up.  `last` came off the bottom of the heap, and in the
+  // steady state (every fire schedules a successor) it is among the newest
+  // keys, so the bubble-up almost never moves: the down-path compares are
+  // all the pop costs.
+  std::size_t i = kHeapRoot;
+  for (;;) {
+    const std::size_t first = 4 * i - 8;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (key_less(heap_[c], heap_[best])) best = c;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  while (i > kHeapRoot) {
+    const std::size_t parent = (i + 8) >> 2;
+    if (!key_less(last, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = last;
 }
 
-bool Simulator::step() {
-  while (!queue_.empty()) {
-    // const_cast to move the callback out; the element is popped immediately.
-    Event& top = const_cast<Event&>(queue_.top());
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
+void Simulator::renormalize_order() {
+  // A sorted array satisfies the d-ary heap property (in the padded layout
+  // too: physical parent index < child index), so sorting both compacts
+  // the sequences and rebuilds the heap in one pass.
+  std::sort(heap_.begin() + kHeapRoot, heap_.end(),
+            [](const Key& a, const Key& b) { return key_less(a, b); });
+  std::uint64_t seq = 1;
+  for (std::size_t i = kHeapRoot; i < heap_.size(); ++i) {
+    Key& k = heap_[i];
+    k.order = (seq++ << kSlotBits) | (k.order & kSlotMask);
+  }
+  next_seq_ = seq;
+}
+
+template <bool SingleStep>
+bool Simulator::fire_events(SimTime bound) {
+  while (!heap_empty()) {
+    const Key top = heap_[kHeapRoot];
+    if (top.time > bound) return false;
+    const auto s = static_cast<std::uint32_t>(top.order & kSlotMask);
+    Callback& cb = cb_ref(s);
+#if defined(__GNUC__)
+    // Overlap the slab and metadata lines with the sift-down below.
+    __builtin_prefetch(&cb);
+    __builtin_prefetch(&meta_[s]);
+#endif
+    heap_pop_min();
+    Meta& m = meta_[s];
+    if ((m.link & kCancelledBit) != 0) {
+      free_slot(s, m);
       continue;
     }
-    Callback cb = std::move(top.cb);
     now_ = top.time;
-    queue_.pop();
     ++events_processed_;
-    cb();
-    return true;
+    --live_events_;
+    // Invalidate outstanding handles BEFORE invoking — a self-cancel from
+    // inside the callback sees a stale generation and no-ops — but keep the
+    // slot off the free list until the callback returns, so a nested
+    // schedule cannot construct a new event over the executing capture.
+    if (++m.gen == 0) m.gen = 1;
+    cb.invoke_and_dispose();  // in place: chunk addresses are stable
+    meta_[s].link = free_head_;  // re-index: the callback may grow meta_
+    free_head_ = s;
+    if constexpr (SingleStep) return true;
   }
   return false;
 }
 
-void Simulator::run() {
-  while (step()) {
-  }
-}
+void Simulator::run() { fire_events<false>(kNoTime); }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    // Drop cancelled entries here: step() skips past them on its own, but
-    // then fires the next live event even when it lies beyond `t`.
-    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    if (!step()) break;
-  }
+  // Bounded pops keep cancelled heads from letting a live event beyond `t`
+  // fire (the PR-6 run_until bound fix, now in the shared fire helper).
+  fire_events<false>(t);
   if (now_ < t) now_ = t;
 }
 
 void Simulator::run_while(const std::function<bool()>& keep_going) {
-  while (keep_going() && step()) {
+  while (keep_going() && fire_events<true>(kNoTime)) {
   }
 }
 

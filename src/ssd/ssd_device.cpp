@@ -44,18 +44,21 @@ void SsdDevice::submit(const IoRequest& req, CompletionFn done) {
       ++io_stats_.reads;
       io_stats_.read_bytes += req.bytes;
       const SimTime fw = firmware_read_.sample(rng_, req.bytes);
-      sim_.schedule_after(fw, [this, req, lpn, pages, submit_time,
-                               done = std::move(done)]() mutable {
-        ftl_->read(lpn, pages, [this, req, submit_time,
-                                done = std::move(done)]() mutable {
-          // Data moves device -> host once the FTL has it in hand.
-          const SimTime tx = device_to_host_.transfer(sim_.now(), req.bytes);
-          sim_.schedule_at(tx, [this, req, submit_time,
-                                done = std::move(done)]() mutable {
-            complete(req, submit_time, std::move(done));
-          });
-        });
-      });
+      sim_.schedule_after(
+          fw, sim::boxed([this, req, lpn, pages, submit_time,
+                          done = std::move(done)]() mutable {
+            ftl_->read(lpn, pages, [this, req, submit_time,
+                                    done = std::move(done)]() mutable {
+              // Data moves device -> host once the FTL has it in hand.
+              const SimTime tx =
+                  device_to_host_.transfer(sim_.now(), req.bytes);
+              sim_.schedule_at(
+                  tx, sim::boxed([this, req, submit_time,
+                                  done = std::move(done)]() mutable {
+                    complete(req, submit_time, std::move(done));
+                  }));
+            });
+          }));
       break;
     }
     case IoOp::kWrite: {
@@ -66,13 +69,14 @@ void SsdDevice::submit(const IoRequest& req, CompletionFn done) {
       // acknowledges once all slots are buffered (or backpressure clears).
       const SimTime fw_done = sim_.now() + fw;
       const SimTime tx = host_to_device_.transfer(fw_done, req.bytes);
-      sim_.schedule_at(tx, [this, req, lpn, pages, submit_time,
-                            done = std::move(done)]() mutable {
-        ftl_->write(lpn, pages, [this, req, submit_time,
-                                 done = std::move(done)]() mutable {
-          complete(req, submit_time, std::move(done));
-        });
-      });
+      sim_.schedule_at(
+          tx, sim::boxed([this, req, lpn, pages, submit_time,
+                          done = std::move(done)]() mutable {
+            ftl_->write(lpn, pages, [this, req, submit_time,
+                                     done = std::move(done)]() mutable {
+              complete(req, submit_time, std::move(done));
+            });
+          }));
       break;
     }
     case IoOp::kFlush: {
@@ -86,10 +90,11 @@ void SsdDevice::submit(const IoRequest& req, CompletionFn done) {
       ++io_stats_.trims;
       ftl_->trim(lpn, pages);
       const SimTime fw = firmware_write_.sample(rng_, 0);
-      sim_.schedule_after(fw, [this, req, submit_time,
-                               done = std::move(done)]() mutable {
-        complete(req, submit_time, std::move(done));
-      });
+      sim_.schedule_after(
+          fw, sim::boxed([this, req, submit_time,
+                          done = std::move(done)]() mutable {
+            complete(req, submit_time, std::move(done));
+          }));
       break;
     }
   }

@@ -52,32 +52,34 @@ void ReducingDevice::submit(const IoRequest& req, CompletionFn done) {
   if (is_write) {
     // Encode on a bounded CPU worker first, then write the reduced payload.
     const SimTime encoded = cpus_.acquire(sim_.now(), cpu_ns);
-    sim_.schedule_at(encoded, [this, req, reduced, submitted,
-                               done = std::move(done)]() mutable {
-      inner_.submit(reduced, [req, submitted, done = std::move(done)](
-                                 const IoResult& r) mutable {
-        IoResult out = r;
-        out.offset = req.offset;
-        out.bytes = req.bytes;  // report logical size to the caller
-        out.submit_time = submitted;
-        done(out);
-      });
-    });
+    sim_.schedule_at(
+        encoded, sim::boxed([this, req, reduced, submitted,
+                             done = std::move(done)]() mutable {
+          inner_.submit(reduced, [req, submitted, done = std::move(done)](
+                                     const IoResult& r) mutable {
+            IoResult out = r;
+            out.offset = req.offset;
+            out.bytes = req.bytes;  // report logical size to the caller
+            out.submit_time = submitted;
+            done(out);
+          });
+        }));
     return;
   }
   // Read the reduced payload, then decode on a bounded CPU worker.
   inner_.submit(reduced, [this, req, cpu_ns, submitted,
                           done = std::move(done)](const IoResult& r) mutable {
     const SimTime decoded = cpus_.acquire(sim_.now(), cpu_ns);
-    sim_.schedule_at(decoded, [this, req, r, submitted,
-                               done = std::move(done)]() mutable {
-      IoResult out = r;
-      out.offset = req.offset;
-      out.bytes = req.bytes;
-      out.submit_time = submitted;
-      out.complete_time = sim_.now();
-      done(out);
-    });
+    sim_.schedule_at(
+        decoded, sim::boxed([this, req, r, submitted,
+                             done = std::move(done)]() mutable {
+          IoResult out = r;
+          out.offset = req.offset;
+          out.bytes = req.bytes;
+          out.submit_time = submitted;
+          out.complete_time = sim_.now();
+          done(out);
+        }));
   });
 }
 

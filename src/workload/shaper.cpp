@@ -28,15 +28,16 @@ void SmoothingDevice::submit(const IoRequest& req, CompletionFn done) {
   stats_.total_delay_ns += delay;
   // The pacing delay is part of the I/O's user-visible latency: report it
   // against the original submission time.
-  sim_.schedule_after(delay, [this, req, submitted = now,
-                              done = std::move(done)]() mutable {
-    inner_.submit(req, [submitted, done = std::move(done)](
-                           const IoResult& r) mutable {
-      IoResult out = r;
-      out.submit_time = submitted;
-      done(out);
-    });
-  });
+  sim_.schedule_after(
+      delay, sim::boxed([this, req, submitted = now,
+                         done = std::move(done)]() mutable {
+        inner_.submit(req, [submitted, done = std::move(done)](
+                               const IoResult& r) mutable {
+          IoResult out = r;
+          out.submit_time = submitted;
+          done(out);
+        });
+      }));
 }
 
 }  // namespace uc::wl

@@ -5,13 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "sim/inline_callback.h"
 #include "sim/latency_model.h"
 #include "sim/parallel.h"
 #include "sim/resources.h"
@@ -61,10 +65,77 @@ TEST(Simulator, CancelPreventsExecution) {
   Simulator sim;
   bool fired = false;
   const EventId id = sim.schedule_at(100, [&] { fired = true; });
+  EXPECT_FALSE(sim.idle());
   sim.cancel(id);
+  EXPECT_TRUE(sim.idle());
   sim.run();
   EXPECT_FALSE(fired);
   EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+// Regression for the lazy-cancel kernel's stale-entry hazard: cancelling an
+// id after its event fired used to leave a phantom entry that made idle()
+// report false forever.  Generation-checked handles make it a no-op.
+TEST(Simulator, CancelAfterFireIsNoOpAndIdleRecovers) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(100, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.idle());
+  sim.cancel(id);  // late cancel: verified no-op
+  sim.cancel(id);  // and idempotent
+  EXPECT_TRUE(sim.idle());
+  sim.schedule_at(200, [&] { ++fired; });
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+// A stale handle whose slab slot has been recycled must not cancel the new
+// occupant: the generation in the handle no longer matches the slot's.
+TEST(Simulator, StaleHandleDoesNotCancelRecycledSlot) {
+  Simulator sim;
+  bool a_fired = false;
+  bool b_fired = false;
+  const EventId a = sim.schedule_at(10, [&] { a_fired = true; });
+  sim.run();  // fires A and recycles its slot
+  const EventId b = sim.schedule_at(20, [&] { b_fired = true; });
+  EXPECT_NE(a, b);  // same slot, different generation
+  sim.cancel(a);    // stale: must not touch B
+  sim.run();
+  EXPECT_TRUE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+// Cancel destroys the callback (and its captures) immediately rather than
+// holding them until the cancelled key surfaces at the heap top.
+TEST(Simulator, CancelReleasesCapturedResourcesImmediately) {
+  Simulator sim;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  const EventId id = sim.schedule_at(100, [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // alive inside the pending event
+  sim.cancel(id);
+  EXPECT_TRUE(watch.expired());  // released at cancel, not at drain
+  sim.run();
+}
+
+// The 40-bit schedule sequence renormalizes when exhausted; FIFO ordering
+// among equal-time events must survive the compaction.
+TEST(Simulator, SequenceRenormalizationPreservesFifo) {
+  Simulator sim;
+  sim.set_next_sequence_for_testing((1ull << 40) - 4);
+  std::vector<int> order;
+  for (int i = 0; i < 12; ++i) {  // crosses the renormalization boundary
+    sim.schedule_at(500, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
 TEST(Simulator, RunUntilAdvancesClockAndStops) {
@@ -150,12 +221,83 @@ TEST(LatencyModel, SpikesInflateTail) {
 }
 
 // ---------------------------------------------------------------------------
+// InlineCallback: the kernel's allocation-free callable.
+// ---------------------------------------------------------------------------
+
+TEST(InlineCallback, InvokesCaptureAtExactCapacity) {
+  // A capture that fills the inline buffer to the last byte must still fit.
+  struct Payload {
+    std::array<unsigned char, kInlineCallbackCapacity - sizeof(int*)> bytes;
+    int* sink;
+  };
+  static_assert(sizeof(Payload) == kInlineCallbackCapacity);
+  int sum = 0;
+  Payload p{};
+  p.bytes.fill(1);
+  p.sink = &sum;
+  auto fn = [p] {
+    int s = 0;
+    for (const unsigned char b : p.bytes) s += b;
+    *p.sink = s;
+  };
+  static_assert(is_inline_storable_v<decltype(fn)>);
+  InlineCallback cb(std::move(fn));
+  cb();
+  EXPECT_EQ(sum, static_cast<int>(kInlineCallbackCapacity - sizeof(int*)));
+}
+
+TEST(InlineCallback, OversizedCaptureIsRejectedAtCompileTime) {
+  // One byte past capacity flips the trait; constructing such a callback is
+  // a static_assert failure, which is the contract this trait documents.
+  struct TooBig {
+    std::array<unsigned char, kInlineCallbackCapacity + 1> bytes;
+  };
+  const auto oversized = [big = TooBig{}] { (void)big; };
+  static_assert(!is_inline_storable_v<decltype(oversized)>);
+  (void)oversized;
+  // boxed() is the escape hatch: one explicit allocation, then it fits.
+  static_assert(is_inline_storable_v<decltype(boxed([big = TooBig{}] {
+    (void)big;
+  }))>);
+}
+
+TEST(InlineCallback, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(7);
+  int got = 0;
+  InlineCallback cb([p = std::move(p), &got] { got = *p; });
+  InlineCallback moved(std::move(cb));
+  EXPECT_FALSE(static_cast<bool>(cb));
+  ASSERT_TRUE(static_cast<bool>(moved));
+  moved();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(InlineCallback, MoveAssignDestroysPreviousTarget) {
+  auto a_alive = std::make_shared<int>(1);
+  std::weak_ptr<int> watch_a = a_alive;
+  InlineCallback cb([keep = std::move(a_alive)] { (void)keep; });
+  EXPECT_FALSE(watch_a.expired());
+  cb = InlineCallback([] {});
+  EXPECT_TRUE(watch_a.expired());
+  cb();  // the replacement target is the live one
+}
+
+TEST(InlineCallback, ResetReleasesCapture) {
+  auto alive = std::make_shared<int>(2);
+  std::weak_ptr<int> watch = alive;
+  InlineCallback cb([keep = std::move(alive)] { (void)keep; });
+  cb.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+// ---------------------------------------------------------------------------
 // Randomized property test: the kernel against a naive reference model.
 // ---------------------------------------------------------------------------
 
 // The reference is deliberately dumb: a flat list scanned for the earliest
-// live (time, id) pair on every fire.  Anything the priority queue, the
-// lazy-cancel set, or the clock rules get wrong shows up as a divergence.
+// live (time, id) pair on every fire.  Anything the slab heap, the slot
+// recycling, or the clock rules get wrong shows up as a divergence.
 class ReferenceModel {
  public:
   void schedule(SimTime t, std::uint64_t id) { pending_.push_back({t, id}); }
@@ -225,8 +367,11 @@ TEST(SimulatorProperty, RandomInterleavingsMatchReference) {
     ReferenceModel ref;
     std::vector<std::uint64_t> fired_sim;
     std::vector<std::uint64_t> fired_ref;
-    std::vector<EventId> issued;
-    std::uint64_t next_tag = 1;  // mirrors the simulator's id counter
+    // Handles are opaque (slot | generation packed), so the test carries its
+    // own tag alongside each issued handle.  Tags increase in schedule order,
+    // which is exactly the FIFO tie-break the reference model uses.
+    std::vector<std::pair<EventId, std::uint64_t>> issued;
+    std::uint64_t next_tag = 1;
 
     for (int op = 0; op < 3000; ++op) {
       const std::uint64_t r = rng.uniform_u64(100);
@@ -237,15 +382,15 @@ TEST(SimulatorProperty, RandomInterleavingsMatchReference) {
         const std::uint64_t tag = next_tag++;
         const EventId id = sim.schedule_at(
             t, [&fired_sim, tag] { fired_sim.push_back(tag); });
-        ASSERT_EQ(id, tag);
         ref.schedule(t, tag);
-        issued.push_back(id);
+        issued.push_back({id, tag});
       } else if (r < 75) {
-        // Cancel anything ever issued: pending, already fired (must be a
-        // no-op), or already cancelled (idempotent).
-        const EventId id = issued[rng.uniform_u64(issued.size())];
+        // Cancel anything ever issued: pending, already fired (the stale
+        // handle's slot may have been recycled — must be a no-op), or
+        // already cancelled (idempotent).
+        const auto& [id, tag] = issued[rng.uniform_u64(issued.size())];
         sim.cancel(id);
-        ref.cancel(id);
+        ref.cancel(tag);
       } else {
         const SimTime t = sim.now() + rng.uniform_u64(24);
         sim.run_until(t);
@@ -274,8 +419,8 @@ TEST(SimulatorProperty, ChainedSchedulingMatchesReference) {
 
     // Every third event chains a follower at fire time; the follower's
     // delay depends only on its parent's tag.  Both sides fire in the same
-    // global order, so their id counters advance in lockstep — any ordering
-    // bug desynchronizes the ids immediately.
+    // global order, so their tag counters advance in lockstep — any ordering
+    // bug desynchronizes the tags immediately.
     std::function<void(std::uint64_t)> fire_sim =
         [&](std::uint64_t tag) {
           fired_sim.push_back(tag);
@@ -296,7 +441,7 @@ TEST(SimulatorProperty, ChainedSchedulingMatchesReference) {
       const SimTime t = rng.uniform_u64(50);
       const std::uint64_t tag = next_sim_tag++;
       next_ref_tag++;
-      ASSERT_EQ(sim.schedule_at(t, [&fire_sim, tag] { fire_sim(tag); }), tag);
+      sim.schedule_at(t, [&fire_sim, tag] { fire_sim(tag); });
       ref.schedule(t, tag);
     }
     sim.run();
