@@ -48,17 +48,7 @@ class InlineCallback {
                             std::decay_t<F>, InlineCallback>>>
   InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
-    static_assert(sizeof(Fn) <= kCapacity,
-                  "callback capture exceeds InlineCallback capacity: shrink "
-                  "the capture, or wrap it in sim::boxed(...) to make the "
-                  "allocation explicit");
-    static_assert(alignof(Fn) <= alignof(std::max_align_t),
-                  "callback capture is over-aligned for inline storage");
-    static_assert(std::is_nothrow_move_constructible_v<Fn>,
-                  "callback captures must be nothrow-movable (the event "
-                  "slab relocates them)");
-    static_assert(std::is_invocable_r_v<void, Fn&>,
-                  "callback must be invocable as void()");
+    assert_storable<Fn>();
     ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
     ops_ = &kOps<Fn>;
   }
@@ -103,10 +93,11 @@ class InlineCallback {
   template <typename F, typename = std::enable_if_t<!std::is_same_v<
                             std::decay_t<F>, InlineCallback>>>
   void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    assert_storable<Fn>();
     reset();
-    ::new (static_cast<void*>(buf_))
-        std::decay_t<F>(std::forward<F>(f));
-    ops_ = &kOps<std::decay_t<F>>;
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = &kOps<Fn>;
   }
 
   /// Invokes the target and destroys it in ONE indirect call — the
@@ -124,6 +115,25 @@ class InlineCallback {
   void operator()() { ops_->invoke(buf_); }
 
  private:
+  /// Shared compile-time capture contract, enforced on EVERY construction
+  /// path (converting constructor and `emplace`, which the simulator's
+  /// `schedule_at` template calls directly) so an oversized capture can
+  /// never placement-new past `buf_` into the adjacent slab slot.
+  template <typename Fn>
+  static constexpr void assert_storable() {
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "callback capture exceeds InlineCallback capacity: shrink "
+                  "the capture, or wrap it in sim::boxed(...) to make the "
+                  "allocation explicit");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callback capture is over-aligned for inline storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callback captures must be nothrow-movable (the event "
+                  "slab relocates them)");
+    static_assert(std::is_invocable_r_v<void, Fn&>,
+                  "callback must be invocable as void()");
+  }
+
   struct Ops {
     void (*invoke)(void* self);
     void (*invoke_destroy)(void* self);

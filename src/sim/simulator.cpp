@@ -7,7 +7,10 @@
 namespace uc::sim {
 
 void Simulator::grow_slab() {
-  UC_ASSERT(slab_size_ < kSlotMask, "event slab full (2^24 live events)");
+  // `<= kSlotMask` (not `<`): slot index kSlotMask == kNilSlot is reserved
+  // as the free-list sentinel and must never become a real slot.
+  UC_ASSERT(slab_size_ + kChunkSize <= kSlotMask,
+            "event slab full (2^24 live events)");
   chunks_.push_back(std::make_unique<CbSlot[]>(kChunkSize));
   const std::uint32_t base = slab_size_;
   slab_size_ += kChunkSize;
@@ -92,9 +95,16 @@ bool Simulator::fire_events(SimTime bound) {
     // slot off the free list until the callback returns, so a nested
     // schedule cannot construct a new event over the executing capture.
     if (++m.gen == 0) m.gen = 1;
+    struct Relink {  // scope guard: the slot must rejoin the free list even
+      Simulator* sim;  // if the callback throws, or it would leak forever
+      std::uint32_t slot;
+      ~Relink() {
+        // Re-index through sim->meta_: the callback may have grown it.
+        sim->meta_[slot].link = sim->free_head_;
+        sim->free_head_ = slot;
+      }
+    } relink{this, s};
     cb.invoke_and_dispose();  // in place: chunk addresses are stable
-    meta_[s].link = free_head_;  // re-index: the callback may grow meta_
-    free_head_ = s;
     if constexpr (SingleStep) return true;
   }
   return false;

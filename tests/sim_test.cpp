@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -122,6 +123,28 @@ TEST(Simulator, CancelReleasesCapturedResourcesImmediately) {
   sim.cancel(id);
   EXPECT_TRUE(watch.expired());  // released at cancel, not at drain
   sim.run();
+}
+
+// A callback that throws must not leak its slab slot: the fire path relinks
+// the slot through a scope guard, so it is recycled even on the exception
+// path (without the guard, repeated throwing callbacks exhaust the slab).
+TEST(Simulator, ThrowingCallbackDoesNotLeakSlot) {
+  Simulator sim;
+  const EventId thrower =
+      sim.schedule_at(10, [] { throw std::runtime_error("boom"); });
+  bool fired = false;
+  sim.schedule_at(20, [&] { fired = true; });
+  EXPECT_THROW(sim.run(), std::runtime_error);
+  EXPECT_FALSE(fired);  // the throw unwound out of run()
+  // The throwing event's slot is back on the free list: the next schedule
+  // reuses it (same slot index, bumped generation).
+  const EventId reused = sim.schedule_at(30, [] {});
+  EXPECT_EQ(reused & 0xffffffffu, thrower & 0xffffffffu);
+  EXPECT_NE(reused, thrower);
+  sim.run();  // the surviving events still fire normally
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_processed(), 3u);
 }
 
 // The 40-bit schedule sequence renormalizes when exhausted; FIFO ordering
