@@ -32,6 +32,7 @@
 #include "ebs/chunk_map.h"
 #include "ebs/cleaner.h"
 #include "ebs/segment_store.h"
+#include "ftl/mapping.h"
 #include "net/fabric.h"
 #include "sched/sched.h"
 #include "sim/latency_model.h"
@@ -87,6 +88,19 @@ struct ClusterConfig {
   /// pre-sched simulator bit for bit; WFQ/priority reorder across tenants
   /// and traffic classes.  `sched.weights` is indexed by VolumeId.
   sched::SchedulerConfig sched;
+
+  /// Node-local flash-index model.  When enabled, every storage node runs a
+  /// `ftl::MappingPolicy` over a windowed page-key space and media reads pay
+  /// `node_mapping.miss_penalty_us` per translation fault on that node's
+  /// read pipeline.  This models the *node's own* SSD indexing cost (the
+  /// ESSD data path has no device FTL of its own — the nodes do), at
+  /// accounting granularity: page keys alias into a fixed window
+  /// (`key = global_page % node_index_window_pages`) so the index footprint
+  /// is bounded per node.  Off by default; the default keeps every pinned
+  /// digest bit-identical.
+  bool model_node_index = false;
+  ftl::MappingConfig node_mapping;
+  std::uint64_t node_index_window_pages = 1ull << 20;  ///< 4 GiB per node
 
   std::uint64_t seed = 99;
 };
@@ -200,6 +214,12 @@ class StorageCluster {
   /// snapshots to scope a measurement or rebalance window).
   ClusterBusyStats busy_stats() const;
 
+  /// True when `cfg.model_node_index` built per-node mapping policies.
+  bool models_node_index() const { return !node_index_.empty(); }
+  /// Aggregate mapping stats summed across every node's index (zeros when
+  /// the model is off).
+  ftl::MappingStats node_index_stats() const;
+
   std::uint32_t volume_count() const {
     return static_cast<std::uint32_t>(volumes_.size());
   }
@@ -286,6 +306,26 @@ class StorageCluster {
 
   void pump_appends();
   void issue_write_io(PendingWrite& op);
+
+  // --- node flash-index model (no-ops while `node_index_` is empty) ---
+  /// Windowed page key: global-chunk-scoped page aliased into the node
+  /// index's bounded address space.
+  std::uint64_t node_index_key(const Volume& v, ChunkId chunk,
+                               std::uint32_t page) const {
+    return cache_key(v, chunk, page) % cfg_.node_index_window_pages;
+  }
+  /// Records an accepted append on `node`'s index (fresh stamp, monotone
+  /// per-node media cursor as the physical address).
+  void node_index_note_write(int node, std::uint64_t key);
+  /// Records a trim on `node`'s index with a fresh stamp.
+  void node_index_note_trim(int node, std::uint64_t key);
+  /// Consults `node`'s index for a media read of `page`; returns the number
+  /// of translation faults the lookup incurred.
+  std::uint32_t node_index_translate(int node, const Volume& v, ChunkId chunk,
+                                     std::uint32_t page);
+  /// Converts translation faults into service nanoseconds on `node`'s read
+  /// pipeline and accrues them in the node's mapping stats.
+  SimTime node_index_penalty_ns(int node, std::uint32_t faults);
   /// Node-cache keys are global-chunk scoped so colocated tenants share the
   /// cache honestly (no cross-volume key collisions).
   std::uint64_t cache_key(const Volume& v, ChunkId chunk,
@@ -312,6 +352,10 @@ class StorageCluster {
   std::vector<sim::SerialResource> node_append_;
   std::vector<sim::SerialResource> node_read_;
   std::vector<LruReadyCache<std::uint64_t>> node_caches_;
+  /// Per-node flash index (empty unless `cfg.model_node_index`).
+  std::vector<std::unique_ptr<ftl::MappingPolicy>> node_index_;
+  std::vector<flash::Spa> node_index_cursor_;  ///< per-node media cursor
+  WriteStamp node_index_stamp_ = 0;            ///< monotone update stamps
   std::deque<PendingWrite> append_queue_;
   std::uint32_t pages_per_segment_ = 0;
   bool stalled_ = false;

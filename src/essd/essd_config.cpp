@@ -21,6 +21,14 @@ Status EssdConfig::validate() const {
   if (capacity_bytes % cluster.chunk_bytes != 0) {
     return Status::invalid_argument("capacity must be a chunk multiple");
   }
+  if (cluster.model_node_index) {
+    if (const Status s = cluster.node_mapping.validate(); !s.is_ok()) {
+      return s;
+    }
+    if (cluster.node_index_window_pages == 0) {
+      return Status::invalid_argument("node index window must be positive");
+    }
+  }
   return Status::ok();
 }
 

@@ -43,6 +43,7 @@ Status FtlConfig::validate() const {
   if (flush_parallelism < 1) {
     return Status::invalid_argument("flush parallelism must be >= 1");
   }
+  if (Status s = mapping.validate(); !s.is_ok()) return s;
   return Status::ok();
 }
 
@@ -53,7 +54,7 @@ Ftl::Ftl(sim::Simulator& sim, const FtlConfig& cfg, Rng rng)
   nand_ = std::make_unique<flash::NandArray>(cfg_.geometry, cfg_.timing,
                                              rng.fork());
   sm_ = std::make_unique<SuperblockManager>(cfg_.geometry);
-  mapping_ = std::make_unique<PageMapping>(user_pages_);
+  mapping_ = make_mapping_policy(cfg_.mapping, user_pages_);
   wb_ = std::make_unique<WriteBuffer>(cfg_.write_buffer_slots);
   cache_ = std::make_unique<ReadCache>(cfg_.read_cache_slots);
   prefetcher_ = std::make_unique<SequentialPrefetcher>(cfg_.prefetch);
@@ -169,7 +170,10 @@ void Ftl::on_flush_programmed(RowAlloc row, std::vector<FlushItem> batch,
     const FlushItem& item = batch[i];
     const flash::Spa spa = sm_->row_slot_spa(row, static_cast<int>(i));
     sm_->fill_slot(spa, item.lpn, item.stamp);
-    const auto upd = mapping_->update_if_newer(item.lpn, spa, item.stamp);
+    const auto upd = mapping_->update(item.lpn, spa, item.stamp);
+    // A CMT miss on the write path charges the die but never blocks the
+    // mapping update itself (the flusher already owns the data).
+    charge_translation_reads(upd.flash_reads, upd.tp_index);
     if (!upd.applied) {
       // Newer data (or a trim) reached the mapping first; this copy is dead.
       sm_->invalidate_if_valid(spa);
@@ -229,13 +233,21 @@ void Ftl::read(Lpn start, std::uint32_t pages, std::function<void()> done) {
       ready_floor = std::max(ready_floor, *ready + dram_ns);
       continue;
     }
-    const flash::Spa spa = mapping_->lookup(lpn);
-    if (spa == flash::kInvalidSpa) {
+    const auto tr = mapping_->translate(lpn);
+    if (tr.flash_reads > 0) {
+      // Demand-paged mapping miss: the translation page is read from
+      // flash before the data read can be issued, so the whole request
+      // waits at least that long.
+      ready_floor = std::max(
+          ready_floor, charge_translation_reads(tr.flash_reads, tr.tp_index));
+    }
+    if (tr.spa == flash::kInvalidSpa) {
       ++stats_.unmapped_read_pages;
       continue;
     }
     ++stats_.flash_read_pages;
-    groups[spa / static_cast<flash::Spa>(cfg_.geometry.slots_per_page())] += 1;
+    groups[tr.spa / static_cast<flash::Spa>(cfg_.geometry.slots_per_page())] +=
+        1;
   }
 
   if (suggestion.active()) issue_prefetch(suggestion.start, suggestion.pages);
@@ -285,7 +297,9 @@ void Ftl::issue_prefetch(Lpn start, std::uint32_t pages) {
     const Lpn lpn = start + i;
     if (cache_->contains(lpn)) continue;
     if (wb_->read_lookup(lpn).has_value()) continue;
-    const flash::Spa spa = mapping_->lookup(lpn);
+    // Speculative: peek never faults translation pages into a demand-paged
+    // mapping, so prefetch probes cannot thrash the CMT.
+    const flash::Spa spa = mapping_->peek(lpn);
     if (spa == flash::kInvalidSpa) continue;
     const flash::Ppa ppa = spa / static_cast<flash::Spa>(g.slots_per_page());
     const int die = g.die_of_ppa(ppa);
@@ -333,11 +347,25 @@ void Ftl::trim(Lpn start, std::uint32_t pages) {
     const Lpn lpn = start + i;
     cache_->invalidate(lpn);
     wb_->discard(lpn);
-    const flash::Spa previous = mapping_->unmap(lpn, next_stamp());
-    if (previous != flash::kInvalidSpa) {
-      sm_->invalidate_if_valid(previous);
+    const auto inv = mapping_->invalidate(lpn, next_stamp());
+    charge_translation_reads(inv.flash_reads, inv.tp_index);
+    if (inv.previous != flash::kInvalidSpa) {
+      sm_->invalidate_if_valid(inv.previous);
     }
   }
+}
+
+SimTime Ftl::charge_translation_reads(std::uint32_t reads,
+                                      std::uint64_t tp_index) {
+  if (reads == 0) return sim_.now();
+  const int die = static_cast<int>(
+      tp_index % static_cast<std::uint64_t>(cfg_.geometry.total_dies()));
+  const auto res = nand_->read_page(
+      sim_.now(), die,
+      static_cast<std::uint64_t>(reads) * cfg_.mapping.translation_page_bytes);
+  stats_.mapping_tp_reads += reads;
+  mapping_->add_miss_penalty_ns(res.done - sim_.now());
+  return res.done;
 }
 
 // ------------------------------------------------------------- integrity --
@@ -356,7 +384,7 @@ Status Ftl::check_integrity() const {
   }
   std::uint64_t mapped_seen = 0;
   for (Lpn lpn = 0; lpn < user_pages_; ++lpn) {
-    const flash::Spa spa = mapping_->lookup(lpn);
+    const flash::Spa spa = mapping_->peek(lpn);
     if (spa == flash::kInvalidSpa) continue;
     ++mapped_seen;
     if (!sm_->slot_valid(spa)) {

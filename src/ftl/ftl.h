@@ -33,6 +33,7 @@ struct FtlConfig {
   flash::FlashGeometry geometry;
   flash::FlashTiming timing;
   GcConfig gc;
+  MappingConfig mapping;  ///< L2P policy (page / dftl / hashed / learned)
 
   /// Host-visible capacity; the rest of the physical space is
   /// over-provisioning for GC.
@@ -65,6 +66,8 @@ struct FtlStats {
   std::uint64_t user_programmed_slots = 0;  ///< host slots flushed to flash
   std::uint64_t padded_slots = 0;           ///< forced partial-row padding
   std::uint64_t program_retries = 0;
+  std::uint64_t mapping_tp_reads = 0;  ///< translation-page flash reads
+                                       ///< charged on the host path
   SimTime user_stall_ns = 0;  ///< flusher time blocked on free space
 };
 
@@ -94,7 +97,8 @@ class Ftl {
   const GcStats& gc_stats() const { return gc_->stats(); }
   const flash::NandArray& nand() const { return *nand_; }
   const SuperblockManager& superblocks() const { return *sm_; }
-  const PageMapping& mapping() const { return *mapping_; }
+  const MappingPolicy& mapping() const { return *mapping_; }
+  const MappingStats& mapping_stats() const { return mapping_->stats(); }
   bool write_buffer_empty() const { return wb_->empty(); }
   bool gc_active() const { return gc_->active(); }
 
@@ -123,6 +127,10 @@ class Ftl {
                            bool failed, bool from_retry);
   void complete_flush_waiters();
   void issue_prefetch(Lpn start, std::uint32_t pages);
+  /// Charges `reads` translation-page flash reads (DFTL CMT misses)
+  /// against a deterministic die; returns when the reads complete.
+  SimTime charge_translation_reads(std::uint32_t reads,
+                                   std::uint64_t tp_index);
   WriteStamp next_stamp() { return ++stamp_counter_; }
 
   sim::Simulator& sim_;
@@ -132,7 +140,7 @@ class Ftl {
 
   std::unique_ptr<flash::NandArray> nand_;
   std::unique_ptr<SuperblockManager> sm_;
-  std::unique_ptr<PageMapping> mapping_;
+  std::unique_ptr<MappingPolicy> mapping_;
   std::unique_ptr<WriteBuffer> wb_;
   std::unique_ptr<ReadCache> cache_;
   std::unique_ptr<SequentialPrefetcher> prefetcher_;

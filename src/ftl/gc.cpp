@@ -8,7 +8,8 @@
 namespace uc::ftl {
 
 GcController::GcController(sim::Simulator& sim, flash::NandArray& nand,
-                           SuperblockManager& superblocks, PageMapping& mapping,
+                           SuperblockManager& superblocks,
+                           MappingPolicy& mapping,
                            const GcConfig& cfg)
     : sim_(sim), nand_(nand), sm_(superblocks), mapping_(mapping), cfg_(cfg) {
   UC_ASSERT(cfg_.trigger_free_sbs >= cfg_.user_reserve_sbs,
@@ -124,7 +125,21 @@ void GcController::on_gc_program_done(RowAlloc row, std::vector<RelocItem> batch
     sm_.fill_slot(dst, item.lpn, item.stamp);
     // Source slot dies either way (its superblock is about to be erased).
     sm_.invalidate_if_valid(item.src);
-    const auto upd = mapping_.update_if_newer(item.lpn, dst, item.stamp);
+    const auto upd = mapping_.on_gc_relocate(item.lpn, dst, item.stamp);
+    if (upd.flash_reads > 0) {
+      // GC pays its own translation-page faults: the read occupies the die
+      // (competing with foreground I/O) but never blocks the relocation,
+      // whose data is already in the GC write stream.
+      const int die = static_cast<int>(
+          upd.tp_index %
+          static_cast<std::uint64_t>(sm_.geometry().total_dies()));
+      const auto res = nand_.read_page(
+          sim_.now(), die,
+          static_cast<std::uint64_t>(upd.flash_reads) *
+              mapping_.config().translation_page_bytes);
+      stats_.mapping_tp_reads += upd.flash_reads;
+      mapping_.add_miss_penalty_ns(res.done - sim_.now());
+    }
     if (!upd.applied) {
       // The host wrote newer data onto flash mid-relocation.
       sm_.invalidate_if_valid(dst);

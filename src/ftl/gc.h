@@ -46,12 +46,13 @@ struct GcStats {
   std::uint64_t erased_superblocks = 0;
   std::uint64_t retired_superblocks = 0;
   std::uint64_t stale_relocations = 0;  ///< overwritten mid-relocation
+  std::uint64_t mapping_tp_reads = 0;   ///< translation-page reads GC paid
 };
 
 class GcController {
  public:
   GcController(sim::Simulator& sim, flash::NandArray& nand,
-               SuperblockManager& superblocks, PageMapping& mapping,
+               SuperblockManager& superblocks, MappingPolicy& mapping,
                const GcConfig& cfg);
 
   /// Invoked whenever a superblock is freed (user writes may unstall).
@@ -87,7 +88,7 @@ class GcController {
   sim::Simulator& sim_;
   flash::NandArray& nand_;
   SuperblockManager& sm_;
-  PageMapping& mapping_;
+  MappingPolicy& mapping_;
   GcConfig cfg_;
   GcStats stats_;
   std::function<void()> space_freed_;

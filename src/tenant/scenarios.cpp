@@ -235,6 +235,8 @@ ScenarioSetup build_scenario(Scenario s, const ScenarioOptions& opt) {
   // (the host folds them into cluster.sched by VolumeId).
   b.base.cluster.sched = opt.sched;
   b.base.sched = opt.sched;
+  b.base.cluster.model_node_index = opt.model_node_index;
+  b.base.cluster.node_mapping = opt.node_mapping;
   for (std::size_t i = 0; i < opt.weights.size() && i < b.tenants.size(); ++i) {
     b.tenants[i].weight = opt.weights[i];
   }

@@ -30,6 +30,7 @@
 #include "common/types.h"
 #include "ebs/cleaner.h"
 #include "ebs/cluster.h"
+#include "ftl/mapping.h"
 #include "net/fabric.h"
 #include "sched/sched.h"
 #include "tenant/fairness.h"
@@ -75,6 +76,13 @@ struct ScenarioOptions {
   double rate_scale = 1.0;
   /// Optional per-tenant cap on replayed events (0 = whole trace).
   std::uint64_t replay_events = 0;
+
+  /// Node-local flash-index model on the shared cluster: each storage node
+  /// runs a `ftl::MappingPolicy` (`node_mapping.kind`) and media reads pay
+  /// per-fault translation penalties.  Off by default — the pinned
+  /// scenario digests assume no node index.
+  bool model_node_index = false;
+  ftl::MappingConfig node_mapping;
 
   /// Worker threads for the parallel engine (`sim::ParallelExecutor`).
   /// 1 (the default) keeps every run on today's single-simulator paths,

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/digest.h"
 #include "common/units.h"
 #include "contract/replay.h"
 #include "essd/essd_device.h"
@@ -147,6 +148,50 @@ TEST(Determinism, SoloEssdDigestMatchesPreSchedSeed) {
   EXPECT_DOUBLE_EQ(s.all_latency.mean(), 374043.842);
 }
 
+// The mapping refactor's contract: with the default page-map policy the
+// FTL must reproduce the pre-MappingPolicy tree bit for bit.  The digest
+// covers the entire L2P table (slot + stamp per page) plus job latencies
+// and GC/flash counters after a GC-heavy mixed job, so any behavioral
+// drift in the extracted interface — an extra flash read, a reordered
+// event, a stats-driven branch — lands here.  Captured at the commit
+// immediately before the MappingPolicy extraction.
+std::uint64_t ssd_mapping_digest() {
+  sim::Simulator sim;
+  ssd::SsdDevice dev(sim, ssd::samsung_970pro_scaled(1 * kGiB));
+
+  wl::JobSpec spec;
+  spec.pattern = wl::AccessPattern::kRandom;
+  spec.io_bytes = 65536;
+  spec.queue_depth = 16;
+  spec.write_ratio = 0.7;
+  spec.total_bytes = 4096 * kMiB;
+  spec.region_bytes = 256 * kMiB;  // ~11x overwrite: GC must relocate
+  spec.seed = 777;
+  const auto stats = wl::JobRunner::run_to_completion(sim, dev, spec);
+
+  dev.ftl().trim(0, 4096);  // trim a 16 MiB stripe
+  sim.run();
+
+  Fnv1a d;
+  const auto& m = dev.ftl().mapping();
+  for (Lpn lpn = 0; lpn < m.logical_pages(); ++lpn) {
+    d.mix(m.peek(lpn)).mix(m.stamp_of(lpn));
+  }
+  d.mix(m.mapped_count());
+  d.mix(stats.last_complete);
+  d.mix(stats.all_latency.mean());
+  d.mix(static_cast<std::uint64_t>(stats.all_latency.max()));
+  d.mix(dev.ftl().gc_stats().relocated_slots);
+  d.mix(dev.ftl().gc_stats().victims_collected);
+  d.mix(dev.ftl().stats().user_programmed_slots);
+  d.mix(dev.ftl().stats().flash_read_pages);
+  return d.value();
+}
+
+TEST(Determinism, PageMapDigestMatchesPreMappingRefactorHead) {
+  EXPECT_EQ(ssd_mapping_digest(), 9238988344121643801ull);
+}
+
 TEST(Determinism, ThreeTenantSeedsDiverge) {
   const auto a = run_three_tenants(1);
   const auto b = run_three_tenants(2);
@@ -229,6 +274,23 @@ TEST(Determinism, ParallelReplayMatrixIsThreadCountInvariant) {
         EXPECT_EQ(want.violations[k].detail, v.violations[k].detail);
       }
     }
+  }
+}
+
+// The same invariance one level up: the replay fleet's per-shard digests
+// (which fold in every ESSD-path event) must match the pre-refactor HEAD
+// at 1, 2 and 4 worker threads.  Guards the FtlConfig/ClusterConfig
+// threading added for mapping ablation: with the policy knob at its
+// default, no fleet-visible event may move.
+TEST(Determinism, FleetDigestsMatchPreMappingRefactorHead) {
+  const std::vector<std::uint64_t> want = {
+      10907057635761261763ull, 14388622975025698312ull,
+      4097056090190038752ull, 4832774139040818048ull};
+  for (const int threads : {1, 2, 4}) {
+    const auto r = run_replay_fleet(threads);
+    EXPECT_EQ(r.shard_digest, want) << "threads " << threads;
+    EXPECT_EQ(r.sim_events, 18333u) << "threads " << threads;
+    EXPECT_EQ(r.makespan, 500337469u) << "threads " << threads;
   }
 }
 

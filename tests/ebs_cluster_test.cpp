@@ -216,5 +216,65 @@ TEST(StorageCluster, StampsSurviveCleaning) {
   }
 }
 
+TEST(StorageCluster, NodeIndexModelIsOffByDefault) {
+  Harness h(test_config());
+  h.write(0, 64 * 1024);
+  h.read(0, 64 * 1024);
+  EXPECT_FALSE(h.cluster.models_node_index());
+  const auto s = h.cluster.node_index_stats();
+  EXPECT_EQ(s.lookups, 0u);
+  EXPECT_EQ(s.table_bytes, 0u);
+}
+
+TEST(StorageCluster, NodeIndexChargesFaultPenaltyOnMediaReads) {
+  // Two identical clusters, one with a deliberately thrashing demand-paged
+  // node index: every media read must consult the index, faults must show
+  // up in the aggregate stats, and the fault penalty must make the indexed
+  // cluster's reads strictly slower.
+  auto cfg = test_config();
+  cfg.node_cache_pages = 1;  // nearly everything goes to media
+  auto idx = cfg;
+  idx.model_node_index = true;
+  idx.node_mapping.kind = ftl::MappingKind::kDftl;
+  idx.node_mapping.cmt_capacity_pages = 1;
+  idx.node_mapping.translation_page_bytes = 64;  // 8 entries/tp: constant miss
+  idx.node_mapping.miss_penalty_us = 50.0;
+
+  Harness plain(cfg);
+  Harness faulty(idx);
+  for (int i = 0; i < 8; ++i) {
+    plain.write(static_cast<ByteOffset>(i) * 64 * 1024, 64 * 1024);
+    faulty.write(static_cast<ByteOffset>(i) * 64 * 1024, 64 * 1024);
+  }
+  SimTime plain_total = 0;
+  SimTime faulty_total = 0;
+  for (int i = 7; i >= 0; --i) {
+    plain_total += plain.read(static_cast<ByteOffset>(i) * 64 * 1024, 64 * 1024);
+    faulty_total += faulty.read(static_cast<ByteOffset>(i) * 64 * 1024, 64 * 1024);
+  }
+  EXPECT_TRUE(faulty.cluster.models_node_index());
+  const auto s = faulty.cluster.node_index_stats();
+  EXPECT_EQ(s.lookups, s.cache_hits + s.cache_misses);
+  EXPECT_GT(s.cache_misses, 0u);
+  EXPECT_GT(s.table_bytes, 0u);
+  EXPECT_GT(s.miss_penalty_ns_total, 0u);
+  EXPECT_GT(faulty_total, plain_total);
+}
+
+TEST(StorageCluster, NodeIndexTrimInvalidatesWithFreshStamps) {
+  auto cfg = test_config();
+  cfg.model_node_index = true;
+  cfg.node_mapping.kind = ftl::MappingKind::kPage;
+  Harness h(cfg);
+  h.write(0, 256 * 1024);
+  const auto before = h.cluster.node_index_stats();
+  h.cluster.trim(0, 256 * 1024);
+  h.sim.run();
+  const auto after = h.cluster.node_index_stats();
+  // Every replica of every trimmed page records an invalidation lookup.
+  EXPECT_GT(after.lookups, before.lookups);
+  EXPECT_EQ(after.lookups, after.cache_hits + after.cache_misses);
+}
+
 }  // namespace
 }  // namespace uc::ebs
