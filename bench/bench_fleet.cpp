@@ -12,10 +12,13 @@
 //      `MigrationBudget` — live repair, with hard caps on concurrent
 //      migrations and copy bandwidth.
 //
-// Legs 1 and 2 are static placements, so the fleet runs shard-per-cluster
-// on `--threads N` workers; leg 3 co-shards (migration couples clusters).
-// The per-shard FNV digests printed per leg are the determinism artifact:
-// identical across any `--threads` value (CI compares 1 vs 4).
+// Every leg runs shard-per-cluster on `--threads N` workers: legs 1 and 2
+// are static placements (two epoch barriers), and leg 3 runs the
+// epoch-sliced engine — shards advance slice by slice, and only the
+// clusters coupled by a live migration fuse into a merged shard for the
+// copy's window.  The per-shard FNV digests printed per leg are the
+// determinism artifact: identical across any `--threads` value (CI
+// compares 1 vs 4).
 //
 // `--json` emits the `metrics.fleet` block documented in docs/BENCH_JSON.md.
 
@@ -205,9 +208,10 @@ int main(int argc, char** argv) {
       "(%s)\n\n",
       delta, delta >= 1.0 ? "better or equal" : "worse");
 
-  // Leg 3: live repair under a budget.  Watermark rebalancing co-shards the
-  // fleet onto one simulator, so this leg measures the control plane, not
-  // the parallel engine.
+  // Leg 3: live repair under a budget, on the epoch-sliced engine — the
+  // rebalancing fleet stays shard-per-cluster, fusing only migration-
+  // coupled clusters at slice barriers, so this leg exercises the parallel
+  // engine and the control plane together.
   fleet::FleetSpec repair = spec;
   repair.rebalance_watermark = 1.1;
   repair.rebalance_interval = repair.duration / 16;
@@ -217,6 +221,15 @@ int main(int argc, char** argv) {
   const fleet::GeneratedFleet repaired = fleet::generate_fleet(repair);
   const LegOutcome repair_leg = run_leg(repaired, threads);
   print_leg("rebalance (budgeted)", repair_leg);
+  {
+    const placement::SliceExecStats& s = repair_leg.report.raw.sliced;
+    std::printf(
+        "%-24s sliced: %llu slices | %llu fusions | %llu splits | max group "
+        "%d clusters\n",
+        "", static_cast<unsigned long long>(s.slices),
+        static_cast<unsigned long long>(s.fusions),
+        static_cast<unsigned long long>(s.splits), s.max_group_clusters);
+  }
   if (repair_leg.report.peak_concurrent_migrations >
       repair.budget.max_concurrent) {
     std::fprintf(stderr, "error: migration budget violated (peak %d > %d)\n",
@@ -251,6 +264,18 @@ int main(int argc, char** argv) {
     bench::Json rebalance = leg_json("least-interference", repair_leg);
     rebalance.set("watermark", repair.rebalance_watermark);
     rebalance.set("budget", std::move(budget));
+    // Epoch-sliced engine accounting (docs/BENCH_JSON.md): slice barriers
+    // crossed, fusion/split events, and the largest fused group.  Thread-
+    // count-invariant, so CI can compare them across --threads runs.
+    const placement::SliceExecStats& sliced = repair_leg.report.raw.sliced;
+    bench::Json sliced_json = bench::Json::object();
+    sliced_json.set("slice_ms",
+                    static_cast<double>(repair.rebalance_interval) / 1e6);
+    sliced_json.set("slices", sliced.slices);
+    sliced_json.set("fusions", sliced.fusions);
+    sliced_json.set("splits", sliced.splits);
+    sliced_json.set("max_group_clusters", sliced.max_group_clusters);
+    rebalance.set("sliced", std::move(sliced_json));
 
     bench::Json metrics = bench::Json::object();
     bench::Json fleet_block = bench::Json::object();

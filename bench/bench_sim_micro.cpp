@@ -294,6 +294,45 @@ BENCHMARK(BM_ParallelShardReplay)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// The persistent pool's dispatch overhead: the epoch-sliced fleet engine
+// calls run_epoch once per slice (hundreds to thousands of times per run),
+// so the cost of waking the pool, claiming shards, and joining the barrier
+// is on the hot path.  Tiny shard bodies (a 64-event simulator burst) make
+// the barrier itself the measured quantity.  Arg(0) = worker threads; at
+// one thread the epoch runs inline, so the Arg(1) row is the no-pool
+// baseline the pooled rows are compared against.
+void BM_ParallelEpochBarrier(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  sim::ParallelExecutor exec(threads);  // built once: pool reuse is the point
+  constexpr std::size_t kShards = 8;
+  constexpr std::uint64_t kEventsPerShard = 64;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    std::array<std::uint64_t, kShards> shard_events{};
+    exec.run_epoch(kShards, [&shard_events](std::size_t s) {
+      sim::Simulator sim;
+      std::uint64_t acc = 0;
+      for (std::uint64_t i = 0; i < kEventsPerShard; ++i) {
+        sim.schedule_at(i % 11, [&acc, i] { acc = acc * 31 + i; });
+      }
+      sim.run();
+      benchmark::DoNotOptimize(acc);
+      shard_events[s] = sim.events_processed();
+    });
+    for (const auto e : shard_events) events += e;
+  }
+  // Same plain-counter convention as BM_ParallelShardReplay: main() derives
+  // events/sec against accumulated wall time.
+  state.counters["sim_events"] =
+      benchmark::Counter(static_cast<double>(events));
+}
+BENCHMARK(BM_ParallelEpochBarrier)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 /// Console reporter that also keeps every iteration run so main() can emit
 /// the shared bench JSON schema.
 class CollectingReporter : public benchmark::ConsoleReporter {

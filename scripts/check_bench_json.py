@@ -383,6 +383,14 @@ def check_sim_micro(path, metrics):
     if parallel and len(parallel) < 3:
         fail(path, "BM_ParallelShardReplay must report all thread counts "
                    f"(got {len(parallel)} rows)")
+    # Same contract for the persistent-pool barrier bench: the epoch-sliced
+    # engine's headline is barrier cost vs. worker count, so a run that
+    # dropped a thread count is not a usable trajectory point.
+    barrier = [b for b in benchmarks
+               if b["name"].startswith("BM_ParallelEpochBarrier")]
+    if barrier and len(barrier) < 3:
+        fail(path, "BM_ParallelEpochBarrier must report all thread counts "
+                   f"(got {len(barrier)} rows)")
     # The event-kernel hot-path family: the trajectory artifact needs the
     # steady-state, cancel-churn, and burst-drain rows together — a partial
     # run would make before/after kernel comparisons meaningless.
@@ -563,6 +571,33 @@ def check_fleet(path, metrics):
         fail(path, "fleet rebalance exceeded MigrationBudget.max_concurrent")
     if budget["max_total"] > 0 and rebalance["migrations"] > budget["max_total"]:
         fail(path, "fleet rebalance exceeded MigrationBudget.max_total")
+    # The rebalance leg runs on the epoch-sliced engine: it must carry the
+    # slice/fusion accounting, one digest per cluster shard (no whole-fleet
+    # co-shard), and internally consistent fusion/split counts.
+    sliced = rebalance.get("sliced")
+    if not isinstance(sliced, dict):
+        fail(path, "fleet rebalance leg missing the 'sliced' block")
+    for key in ("slice_ms", "slices", "fusions", "splits",
+                "max_group_clusters"):
+        if key not in sliced:
+            fail(path, f"fleet rebalance sliced block missing '{key}'")
+    # A single-cluster fleet degenerates to the legacy whole-fleet host
+    # (nothing to fuse), so the slice counters are only required to tick
+    # when the epoch-sliced engine actually ran.
+    if fleet["clusters"] > 1 and (sliced["slice_ms"] <= 0
+                                  or sliced["slices"] <= 0):
+        fail(path, "fleet rebalance must have run at least one slice")
+    if len(rebalance["digests"]) != fleet["clusters"]:
+        fail(path, "sliced rebalance must digest one shard per cluster "
+                   f"(got {len(rebalance['digests'])} digests for "
+                   f"{fleet['clusters']} clusters)")
+    if sliced["splits"] > sliced["fusions"]:
+        fail(path, "fleet rebalance split more shard groups than it fused")
+    if rebalance["migrations"] > 0 and sliced["fusions"] < 1:
+        fail(path, "fleet rebalance migrated without fusing the coupled "
+                   "source/dest shards")
+    if sliced["fusions"] > 0 and sliced["max_group_clusters"] < 2:
+        fail(path, "fleet rebalance fused shards but max_group_clusters < 2")
 
 
 CHECKS = {

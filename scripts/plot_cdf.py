@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Percentile/CDF report over sweep_fleet.py JSONL output.
+
+Reads the collated rows that `sweep_fleet.py --out` appends (one JSON
+object per line, one row per bench leg) and prints, per leg, a percentile
+table plus an ASCII CDF of the chosen metric — the quick-look companion
+to the sweep's summary table when you care about the distribution, not
+just the worst case.
+
+Usage:
+    scripts/plot_cdf.py sweep_fleet.jsonl [more.jsonl ...]
+        [--metric worst_p999_us] [--leg rebalance]
+        [--percentiles 50,90,99] [--width 48] [--out report.txt]
+
+Stdlib only.  Exits non-zero on empty input, malformed rows, or an
+unknown metric/leg, so CI can run it on a fixture as a schema check.
+"""
+import argparse
+import json
+import sys
+
+DEFAULT_PERCENTILES = (10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0)
+
+
+def read_rows(paths):
+    """Yields (path, lineno, row) for every JSONL row across the inputs."""
+    for path in paths:
+        try:
+            f = open(path)
+        except OSError as e:
+            sys.exit(f"plot_cdf: cannot open {path}: {e}")
+        with f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as e:
+                    sys.exit(f"plot_cdf: {path}:{lineno}: bad JSON: {e}")
+                if not isinstance(row, dict):
+                    sys.exit(f"plot_cdf: {path}:{lineno}: row must be an object")
+                yield path, lineno, row
+
+
+def percentile(sorted_values, pct):
+    """Nearest-rank percentile (pct in (0, 100]) over a sorted list."""
+    if not sorted_values:
+        raise ValueError("empty sample")
+    rank = max(1, -(-len(sorted_values) * pct // 100))  # ceil
+    return sorted_values[int(rank) - 1]
+
+
+def ascii_cdf(sorted_values, width):
+    """Renders the empirical CDF as one bar row per distinct value."""
+    lines = []
+    n = len(sorted_values)
+    seen = 0
+    for i, v in enumerate(sorted_values):
+        seen = i + 1
+        if i + 1 < n and sorted_values[i + 1] == v:
+            continue  # collapse ties onto the highest cumulative fraction
+        frac = seen / n
+        bar = "#" * max(1, round(frac * width))
+        lines.append(f"  {v:>14.3f} |{bar:<{width}}| {frac * 100:5.1f}%")
+    return lines
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("jsonl", nargs="+", help="sweep_fleet.py --out files")
+    ap.add_argument("--metric", default="worst_p999_us",
+                    help="row key to report (default: worst_p999_us)")
+    ap.add_argument("--leg", help="only this leg (default: all legs)")
+    ap.add_argument("--percentiles",
+                    default=",".join(str(p) for p in DEFAULT_PERCENTILES),
+                    help="comma-separated percentile list")
+    ap.add_argument("--width", type=int, default=48,
+                    help="CDF bar width in characters")
+    ap.add_argument("--out", help="also write the report to this file")
+    args = ap.parse_args()
+
+    try:
+        pcts = [float(p) for p in args.percentiles.split(",") if p]
+    except ValueError:
+        sys.exit(f"plot_cdf: bad --percentiles '{args.percentiles}'")
+    if not pcts or any(p <= 0 or p > 100 for p in pcts):
+        sys.exit("plot_cdf: percentiles must be in (0, 100]")
+
+    by_leg = {}
+    for path, lineno, row in read_rows(args.jsonl):
+        for key in ("leg", "clusters", "seed"):
+            if key not in row:
+                sys.exit(f"plot_cdf: {path}:{lineno}: row missing '{key}'")
+        if args.leg and row["leg"] != args.leg:
+            continue
+        if args.metric not in row:
+            sys.exit(f"plot_cdf: {path}:{lineno}: row has no metric "
+                     f"'{args.metric}' (keys: {', '.join(sorted(row))})")
+        value = row[args.metric]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            sys.exit(f"plot_cdf: {path}:{lineno}: metric '{args.metric}' "
+                     f"is not numeric")
+        by_leg.setdefault(row["leg"], []).append(float(value))
+
+    if not by_leg:
+        sys.exit("plot_cdf: no rows matched"
+                 + (f" leg '{args.leg}'" if args.leg else ""))
+
+    lines = []
+    for leg in sorted(by_leg):
+        values = sorted(by_leg[leg])
+        lines.append(f"{args.metric} — leg '{leg}' "
+                     f"({len(values)} rows, min {values[0]:.3f}, "
+                     f"max {values[-1]:.3f})")
+        for pct in pcts:
+            lines.append(f"  p{pct:<5g} {percentile(values, pct):>14.3f}")
+        lines.append("  CDF:")
+        lines.extend(ascii_cdf(values, args.width))
+        lines.append("")
+
+    report = "\n".join(lines)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,20 +4,25 @@
 The trajectory (BENCH_TRAJECTORY.json at the repo root) is an append-only
 record of kernel throughput over time, so a perf regression shows up as a
 dip in a diffable artifact rather than as folklore.  Each row snapshots the
-events/sec of the BM_EventKernel* family (and any BM_ParallelShardReplay*
-rows that ran) from one `bench_sim_micro --json` document:
+events/sec of the BM_EventKernel*, BM_ParallelShardReplay*, and
+BM_ParallelEpochBarrier* families from `bench_sim_micro --json` documents,
+plus "FleetRebalanceReplay/t<threads>" from a `bench_fleet --json`
+document's epoch-sliced rebalance leg:
 
     {
       "schema": "uc-bench-trajectory-v1",
       "rows": [
         {"label": "<commit / milestone>",
-         "benchmarks": {"BM_EventKernelSteadyState": 10212300.0, ...}}
+         "benchmarks": {"BM_EventKernelSteadyState": 10212300.0,
+                        "FleetRebalanceReplay/t4": 5210000.0, ...}}
       ]
     }
 
 Usage:
-    scripts/update_bench_trajectory.py TRAJECTORY BENCH_JSON --label LABEL
+    scripts/update_bench_trajectory.py TRAJECTORY BENCH_JSON... --label LABEL
     scripts/update_bench_trajectory.py TRAJECTORY --check-only
+
+Several bench documents given together merge into one trajectory row.
 
 A missing trajectory file is seeded on first append.  Exit 0 = row appended
 (or file valid under --check-only).
@@ -28,7 +33,8 @@ import os
 import sys
 
 SCHEMA = "uc-bench-trajectory-v1"
-TRACKED_PREFIXES = ("BM_EventKernel", "BM_ParallelShardReplay")
+TRACKED_PREFIXES = ("BM_EventKernel", "BM_ParallelShardReplay",
+                    "BM_ParallelEpochBarrier", "FleetRebalanceReplay")
 
 
 def fail(msg):
@@ -57,18 +63,28 @@ def validate(doc):
 
 
 def extract_rates(bench_doc):
-    if bench_doc.get("bench") != "sim_micro":
-        fail("bench document must be a sim_micro envelope")
+    bench = bench_doc.get("bench")
     rates = {}
-    for b in bench_doc.get("metrics", {}).get("benchmarks", []):
-        # Keep bench arguments ("/4096") so depth variants stay distinct
-        # rows; drop the real_time suffix, which is presentation.
-        name = b.get("name", "").removesuffix("/real_time")
-        if name.startswith(TRACKED_PREFIXES):
-            rates[name] = b.get("events_per_sec")
+    if bench == "sim_micro":
+        for b in bench_doc.get("metrics", {}).get("benchmarks", []):
+            # Keep bench arguments ("/4096") so depth variants stay distinct
+            # rows; drop the real_time suffix, which is presentation.
+            name = b.get("name", "").removesuffix("/real_time")
+            if name.startswith(TRACKED_PREFIXES):
+                rates[name] = b.get("events_per_sec")
+    elif bench == "fleet":
+        # The fleet's rebalance leg is the end-to-end artifact for the
+        # epoch-sliced engine: whole-run events/sec at this thread count.
+        fleet = bench_doc.get("metrics", {}).get("fleet", {})
+        rebalance = fleet.get("rebalance", {})
+        if "events_per_sec" in rebalance and "threads" in fleet:
+            rates[f"FleetRebalanceReplay/t{fleet['threads']}"] = \
+                rebalance["events_per_sec"]
+    else:
+        fail("bench document must be a sim_micro or fleet envelope")
     if not rates:
-        fail("bench document has no BM_EventKernel / BM_ParallelShardReplay "
-             "rows to track")
+        fail(f"{bench} document has no tracked rows "
+             f"(prefixes: {', '.join(TRACKED_PREFIXES)})")
     return rates
 
 
@@ -76,8 +92,8 @@ def main():
     parser = argparse.ArgumentParser(
         description="append an events/sec row to the bench trajectory")
     parser.add_argument("trajectory", help="path to BENCH_TRAJECTORY.json")
-    parser.add_argument("bench_json", nargs="?",
-                        help="bench_sim_micro --json output to append")
+    parser.add_argument("bench_json", nargs="*",
+                        help="bench --json outputs merged into one row")
     parser.add_argument("--label", default=None,
                         help="row label (commit sha, milestone, ...)")
     parser.add_argument("--check-only", action="store_true",
@@ -104,14 +120,16 @@ def main():
         fail("a bench JSON is required unless --check-only is given")
     if not args.label:
         fail("--label is required when appending (use the commit sha)")
-    try:
-        with open(args.bench_json) as f:
-            bench_doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{args.bench_json}: {e}")
+    rates = {}
+    for path in args.bench_json:
+        try:
+            with open(path) as f:
+                bench_doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{path}: {e}")
+        rates.update(extract_rates(bench_doc))
 
-    doc["rows"].append({"label": args.label,
-                        "benchmarks": extract_rates(bench_doc)})
+    doc["rows"].append({"label": args.label, "benchmarks": rates})
     validate(doc)
     tmp = args.trajectory + ".tmp"
     with open(tmp, "w") as f:

@@ -206,7 +206,12 @@ FleetReport run_fleet(const GeneratedFleet& fleet, const FleetRunOptions& opt) {
   FleetReport rep;
   placement::PlacementResult run;
   sim::ParallelExecutor exec(opt.threads);
-  if (exec.threads() > 1) {
+  // Rebalancing fleets always run the epoch-sliced ShardedHost — one thread
+  // included — so digests are invariant across --threads.  Non-rebalancing
+  // single-thread runs keep the pinned single-simulator path.
+  const bool sliced = fleet.placement.clusters > 1 &&
+                      fleet.placement.rebalance_watermark > 1.0;
+  if (exec.threads() > 1 || sliced) {
     placement::ShardedHost host(fleet.base, fleet.tenants, fleet.placement);
     run = host.run(exec);
     host.check_invariants();

@@ -83,9 +83,10 @@ struct FleetSpec {
 
   // --- control plane under test ---
   placement::Policy policy = placement::Policy::kLeastInterference;
-  /// > 1 enables watermark rebalancing (which co-shards the fleet onto one
-  /// simulator — see `compute_shard_plan`); <= 1 leaves placement static
-  /// and the fleet shard-per-cluster parallel.
+  /// > 1 enables watermark rebalancing, which runs the epoch-sliced
+  /// shard-per-cluster engine (coupled clusters fuse only while a migration
+  /// is live — see `compute_shard_plan` and `ShardedHost`); <= 1 leaves
+  /// placement static and the fleet shard-per-cluster parallel.
   double rebalance_watermark = 0.0;
   SimTime rebalance_interval = 50 * units::kMs;
   placement::MigrationBudget budget;

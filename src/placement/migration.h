@@ -20,6 +20,7 @@
 /// diffs are not chased.  Migrating away from a pool-starved cluster is
 /// exactly when you would not trust a live copy either.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -68,6 +69,16 @@ class MigrationPacer {
   }
 
   double bytes_per_s() const { return bytes_per_s_; }
+  /// Earliest time the next fragment could issue (reservation high-water).
+  SimTime next_free() const { return next_free_; }
+
+  /// Folds another pacer's reservations into this one: after two migration
+  /// domains merge (fused shards in the sliced parallel run), the surviving
+  /// pacer must not issue before either predecessor would have.  Only legal
+  /// at a barrier, where both clocks agree.
+  void absorb(const MigrationPacer& other) {
+    next_free_ = std::max(next_free_, other.next_free_);
+  }
 
  private:
   double bytes_per_s_;
@@ -102,6 +113,12 @@ class VolumeMigrator {
   void start();
   bool finished() const { return finished_; }
   const MigrationStats& stats() const { return stats_; }
+
+  /// Repoints the copy-bandwidth governor mid-flight: when two fused-shard
+  /// groups merge, their pacers collapse into one survivor and every active
+  /// migrator of the absorbed group re-targets it here (at a slice barrier,
+  /// so the reservation clocks are comparable).  Null = unpaced.
+  void set_pacer(MigrationPacer* pacer) { pacer_ = pacer; }
 
  private:
   /// Scans forward from `offset` for the next dirty run, copies it, and

@@ -164,7 +164,9 @@ MultiClusterHost::MultiClusterHost(sim::Simulator& sim,
       cfg_(cfg),
       tenants_(std::move(tenants)),
       pacer_(cfg.budget.copy_bandwidth_bps) {
-  UC_ASSERT(!tenants_.empty(), "host needs at least one tenant");
+  // No tenants is legal: the sliced parallel engine instantiates a host for
+  // every cluster, and an idle cluster must still exist (it can become a
+  // migration destination at any barrier).
   UC_ASSERT(cfg_.budget.max_concurrent >= 1,
             "migration budget needs at least one slot");
   initial_cluster_ = plan_placement(cfg_, tenants_);
@@ -378,26 +380,7 @@ void MultiClusterHost::run_fill() {
 }
 
 PlacementResult MultiClusterHost::run_measure(SimTime measure_start) {
-  UC_ASSERT(filled_, "run_measure before run_fill");
-  UC_ASSERT(!ran_, "host already ran");
-  ran_ = true;
-  // Clock alignment: the fleet's measured window opens when the *slowest*
-  // shard's fill drains.  The queue is already empty, so this only advances
-  // the clock (and is a no-op on the single-host path, where
-  // `measure_start` is this simulator's own drain time).
-  sim_.run_until(measure_start);
-
-  PlacementResult result;
-  result.measure_start = sim_.now();
-  std::vector<ebs::ClusterStats> cluster_before;
-  std::vector<ebs::CleanerStats> cleaner_before;
-  std::vector<ebs::ClusterBusyStats> busy_before;
-  for (const auto& c : clusters_) {
-    cluster_before.push_back(c->stats());
-    cleaner_before.push_back(c->cleaner().stats());
-    busy_before.push_back(c->busy_stats());
-  }
-  for (auto& source : sources_) source->start();
+  begin_measure(measure_start);
   if (cfg_.clusters > 1 && cfg_.rebalance_watermark > 1.0) {
     if (cfg_.policy == Policy::kLeastInterference) {
       // Signal baseline: the first rebalance window opens at measure start,
@@ -410,7 +393,36 @@ PlacementResult MultiClusterHost::run_measure(SimTime measure_start) {
     schedule_rebalance_check();
   }
   sim_.run();
+  return collect_measure();
+}
 
+void MultiClusterHost::begin_measure(SimTime measure_start) {
+  UC_ASSERT(filled_, "run_measure before run_fill");
+  UC_ASSERT(!ran_, "host already ran");
+  ran_ = true;
+  measuring_ = true;
+  // Clock alignment: the fleet's measured window opens when the *slowest*
+  // shard's fill drains.  The queue is already empty, so this only advances
+  // the clock (and is a no-op on the single-host path, where
+  // `measure_start` is this simulator's own drain time).
+  sim_.run_until(measure_start);
+  measure_start_ = sim_.now();
+  cluster_before_.clear();
+  cleaner_before_.clear();
+  busy_before_.clear();
+  for (const auto& c : clusters_) {
+    cluster_before_.push_back(c->stats());
+    cleaner_before_.push_back(c->cleaner().stats());
+    busy_before_.push_back(c->busy_stats());
+  }
+  for (auto& source : sources_) source->start();
+}
+
+PlacementResult MultiClusterHost::collect_measure() {
+  UC_ASSERT(measuring_, "collect_measure before begin_measure");
+  measuring_ = false;
+  PlacementResult result;
+  result.measure_start = measure_start_;
   result.stats.reserve(sources_.size());
   for (auto& source : sources_) {
     UC_ASSERT(source->finished(), "simulator drained but a tenant load hung");
@@ -425,11 +437,11 @@ PlacementResult MultiClusterHost::run_measure(SimTime measure_start) {
   result.peak_concurrent_migrations = peak_concurrent_;
   for (std::size_t c = 0; c < clusters_.size(); ++c) {
     result.cluster.push_back(
-        ebs::subtract(clusters_[c]->stats(), cluster_before[c]));
+        ebs::subtract(clusters_[c]->stats(), cluster_before_[c]));
     result.cleaner.push_back(
-        ebs::subtract(clusters_[c]->cleaner().stats(), cleaner_before[c]));
+        ebs::subtract(clusters_[c]->cleaner().stats(), cleaner_before_[c]));
     result.busy.push_back(
-        ebs::subtract(clusters_[c]->busy_stats(), busy_before[c]));
+        ebs::subtract(clusters_[c]->busy_stats(), busy_before_[c]));
   }
   result.sim_events = sim_.events_processed();
   return result;
@@ -452,18 +464,14 @@ int ShardPlan::shard_of_cluster(int c) const {
 
 ShardPlan compute_shard_plan(const PlacementConfig& cfg) {
   UC_ASSERT(cfg.clusters >= 1, "placement needs at least one cluster");
+  // One shard per cluster, rebalancing or not.  A VolumeMigrator touches
+  // source and destination clusters inside one logical timeline, but the
+  // epoch-sliced engine fuses exactly the coupled shards for exactly the
+  // migration's window — the whole fleet never co-shards.
   ShardPlan plan;
-  if (cfg.clusters == 1 || cfg.rebalance_watermark > 1.0) {
-    // A rebalancing fleet cannot split: a VolumeMigrator touches source and
-    // destination clusters inside one simulator, so any cluster pair may
-    // become coupled mid-run.
-    plan.first_cluster.push_back(0);
-    plan.clusters.push_back(cfg.clusters);
-  } else {
-    for (int c = 0; c < cfg.clusters; ++c) {
-      plan.first_cluster.push_back(c);
-      plan.clusters.push_back(1);
-    }
+  for (int c = 0; c < cfg.clusters; ++c) {
+    plan.first_cluster.push_back(c);
+    plan.clusters.push_back(1);
   }
   return plan;
 }
@@ -571,6 +579,9 @@ ShardedHost::ShardedHost(const essd::EssdConfig& base,
   UC_ASSERT(!tenants_.empty(), "host needs at least one tenant");
   planned_ = plan_placement(cfg_, tenants_);
   plan_ = compute_shard_plan(cfg_);
+  sliced_ = cfg_.clusters > 1 && cfg_.rebalance_watermark > 1.0;
+  slice_ = cfg_.slice > 0 ? cfg_.slice : cfg_.rebalance_interval;
+  UC_ASSERT(!sliced_ || slice_ > 0, "sliced run needs a positive slice");
 
   shards_.resize(plan_.shards());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -588,10 +599,17 @@ ShardedHost::ShardedHost(const essd::EssdConfig& base,
   }
 
   for (Shard& sh : shards_) {
-    if (sh.tenant.empty()) continue;  // idle clusters need no simulator
+    // Idle clusters need no simulator on the static schedule; the sliced
+    // one instantiates every shard (an idle cluster can become a migration
+    // destination at any barrier).
+    if (sh.tenant.empty() && !sliced_) continue;
     PlacementConfig sub = cfg_;
     sub.clusters = sh.clusters;
     sub.first_cluster = cfg_.first_cluster + sh.first_cluster;
+    // Shard hosts never self-rebalance: on the sliced schedule the
+    // coordinator owns every migration, and on the static one rebalancing
+    // is off by construction.
+    sub.rebalance_watermark = 0.0;
     sub.fixed_assignment.clear();
     std::vector<tenant::TenantSpec> specs;
     specs.reserve(sh.tenant.size());
@@ -605,11 +623,21 @@ ShardedHost::ShardedHost(const essd::EssdConfig& base,
     sh.host = std::make_unique<MultiClusterHost>(*sh.sim, base_,
                                                  std::move(specs), sub);
   }
+
+  if (sliced_) {
+    fleet_cluster_of_ = planned_;
+    fleet_migrating_.assign(tenants_.size(), 0);
+    fleet_migrated_.assign(tenants_.size(), 0);
+  }
 }
 
 PlacementResult ShardedHost::run(sim::ParallelExecutor& exec) {
   UC_ASSERT(!ran_, "host already ran");
   ran_ = true;
+  return sliced_ ? run_sliced(exec) : run_static(exec);
+}
+
+PlacementResult ShardedHost::run_static(sim::ParallelExecutor& exec) {
   // Epoch 1: every shard preconditions and drains its own simulator.
   exec.run_epoch(shards_.size(), [this](std::size_t s) {
     if (shards_[s].host != nullptr) shards_[s].host->run_fill();
@@ -626,13 +654,17 @@ PlacementResult ShardedHost::run(sim::ParallelExecutor& exec) {
   exec.run_epoch(shards_.size(), [this, &part, t0](std::size_t s) {
     if (shards_[s].host != nullptr) part[s] = shards_[s].host->run_measure(t0);
   });
+  return merge_parts(std::move(part), t0);
+}
 
+PlacementResult ShardedHost::merge_parts(std::vector<PlacementResult> part,
+                                         SimTime measure_start) const {
   // Coordinator merge: restore spec order for tenants and global indices
   // for clusters.  Shards without a host leave default (all-zero) cluster
   // and cleaner deltas — exactly what an idle cluster contributes.
   const std::size_t n = tenants_.size();
   PlacementResult result;
-  result.measure_start = t0;
+  result.measure_start = measure_start;
   result.stats.resize(n);
   result.backlog_peak.resize(n);
   result.traces.resize(n);
@@ -673,6 +705,333 @@ PlacementResult ShardedHost::run(sim::ParallelExecutor& exec) {
   return result;
 }
 
+PlacementResult ShardedHost::run_sliced(sim::ParallelExecutor& exec) {
+  // Epoch 1: every shard preconditions and drains its own simulator (idle
+  // clusters are a no-op fill).
+  exec.run_epoch(shards_.size(),
+                 [this](std::size_t s) { shards_[s].host->run_fill(); });
+  SimTime t0 = 0;
+  for (const Shard& sh : shards_) t0 = std::max(t0, sh.sim->now());
+  // Opening the measured window is cheap (clock alignment, stats snapshots,
+  // source starts), so the coordinator does it serially.
+  for (Shard& sh : shards_) sh.host->begin_measure(t0);
+  if (cfg_.policy == Policy::kLeastInterference) {
+    // Same baseline rule as the single-sim host: the first rebalance window
+    // opens at measure start, fill-phase occupancy never counts.
+    signal_at_check_.clear();
+    for (const Shard& sh : shards_) {
+      signal_at_check_.push_back(sh.host->cluster(0).busy_stats().signal());
+    }
+  }
+
+  // The slice loop: advance every fused group one slice, then decide at the
+  // barrier.  The partition is rebuilt from the live couplings each time,
+  // so fusion and splitting both fall out of `coupled_groups`.
+  std::vector<std::vector<std::size_t>> groups = coupled_groups();
+  SimTime tk = t0;
+  for (;;) {
+    bool pending = false;
+    for (const Shard& sh : shards_) {
+      if (!sh.sim->idle()) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) break;
+    tk += slice_;
+    exec.run_epoch(groups.size(), [this, &groups, tk](std::size_t g) {
+      advance_group(groups[g], tk);
+    });
+    ++slice_stats_.slices;
+    fleet_rebalance();
+    std::vector<std::vector<std::size_t>> next = coupled_groups();
+    if (next.size() < groups.size()) {
+      slice_stats_.fusions += groups.size() - next.size();
+    } else if (next.size() > groups.size()) {
+      slice_stats_.splits += next.size() - groups.size();
+    }
+    for (const auto& grp : next) {
+      slice_stats_.max_group_clusters = std::max(
+          slice_stats_.max_group_clusters, static_cast<int>(grp.size()));
+    }
+    groups = std::move(next);
+  }
+
+  std::vector<PlacementResult> part(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    part[s] = shards_[s].host->collect_measure();
+  }
+  PlacementResult result = merge_parts(std::move(part), t0);
+  // The shard hosts never migrated anything; the coordinator's ledger is
+  // the fleet truth.
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    result.final_cluster[i] = fleet_cluster_of_[i];
+  }
+  result.migrations = records_;
+  result.peak_concurrent_migrations = peak_concurrent_;
+  result.sliced = slice_stats_;
+  return result;
+}
+
+void ShardedHost::advance_group(const std::vector<std::size_t>& members,
+                                SimTime bound) {
+  if (members.size() > 1) {
+    // Event-timestamp lockstep: find the earliest pending event across the
+    // group, align every member's clock to it, then fire that timestamp in
+    // ascending shard order.  Re-iterating catches events a member just
+    // scheduled into a sibling at the same timestamp.  Cross-simulator
+    // callbacks are causally safe because clocks are pre-aligned before
+    // anything fires.
+    for (;;) {
+      SimTime t = kNoTime;
+      for (const std::size_t m : members) {
+        t = std::min(t, shards_[m].sim->next_event_time());
+      }
+      if (t == kNoTime || t > bound) break;
+      for (const std::size_t m : members) shards_[m].sim->advance_to(t);
+      for (const std::size_t m : members) shards_[m].sim->run_until(t);
+    }
+  }
+  for (const std::size_t m : members) shards_[m].sim->run_until(bound);
+}
+
+std::vector<std::vector<std::size_t>> ShardedHost::coupled_groups() const {
+  const std::size_t n = shards_.size();
+  std::vector<std::size_t> parent(n);
+  for (std::size_t s = 0; s < n; ++s) parent[s] = s;
+  const auto find = [&](std::size_t s) {
+    while (parent[s] != s) {
+      parent[s] = parent[parent[s]];
+      s = parent[s];
+    }
+    return s;
+  };
+  const auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+  // One shard per cluster, so shard index == cluster index here.
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    if (record_migrator_[r]->finished()) continue;
+    const std::size_t home = shard_of_tenant_[records_[r].tenant];
+    unite(home, static_cast<std::size_t>(records_[r].from_cluster));
+    unite(home, static_cast<std::size_t>(records_[r].to_cluster));
+  }
+  // Post-cutover drain: the tenant's device (home shard) keeps talking to
+  // its new cluster until the load finishes, so those two stay fused.
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (!fleet_migrated_[i] || fleet_tenant_finished(i)) continue;
+    unite(shard_of_tenant_[i],
+          static_cast<std::size_t>(fleet_cluster_of_[i]));
+  }
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::size_t> group_of(n, n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t root = find(s);
+    if (group_of[root] == n) {
+      group_of[root] = groups.size();
+      groups.emplace_back();
+    }
+    groups[group_of[root]].push_back(s);
+  }
+  return groups;
+}
+
+bool ShardedHost::fleet_tenant_finished(std::size_t tenant) const {
+  return shards_[shard_of_tenant_[tenant]].host->tenant_finished(
+      local_of_tenant_[tenant]);
+}
+
+int ShardedHost::fleet_active_migrations() const {
+  int active = 0;
+  for (const auto& m : migrators_) {
+    if (!m->finished()) ++active;
+  }
+  return active;
+}
+
+bool ShardedHost::fleet_under_budget() const {
+  if (fleet_active_migrations() >= cfg_.budget.max_concurrent) return false;
+  if (cfg_.budget.max_total > 0 &&
+      static_cast<int>(records_.size()) >= cfg_.budget.max_total) {
+    return false;
+  }
+  return true;
+}
+
+bool ShardedHost::fleet_rebalance() {
+  // Mirror of `MultiClusterHost::maybe_rebalance` at fleet scope, run once
+  // per slice barrier: same stop-when-drained guard, same budget admission,
+  // same policy split, at most one migration per check.
+  bool any_running = false;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (!fleet_tenant_finished(i)) {
+      any_running = true;
+      break;
+    }
+  }
+  if (!any_running) return false;
+  if (!fleet_under_budget()) return false;
+  return cfg_.policy == Policy::kLeastInterference ? fleet_rebalance_signal()
+                                                   : fleet_rebalance_bytes();
+}
+
+bool ShardedHost::fleet_rebalance_bytes() {
+  const auto k = static_cast<std::size_t>(cfg_.clusters);
+  std::vector<std::uint64_t> bytes(k, 0);
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    bytes[static_cast<std::size_t>(fleet_cluster_of_[i])] +=
+        tenants_[i].capacity_bytes;
+  }
+  std::uint64_t total = 0;
+  std::size_t busiest = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    total += bytes[c];
+    if (bytes[c] > bytes[busiest]) busiest = c;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(k);
+  if (static_cast<double>(bytes[busiest]) <= cfg_.rebalance_watermark * mean) {
+    return false;
+  }
+  std::size_t pick = tenants_.size();
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (static_cast<std::size_t>(fleet_cluster_of_[i]) != busiest) continue;
+    if (fleet_migrating_[i]) continue;
+    if (fleet_tenant_finished(i)) continue;
+    if (pick == tenants_.size() ||
+        tenants_[i].capacity_bytes > tenants_[pick].capacity_bytes) {
+      pick = i;
+    }
+  }
+  if (pick == tenants_.size()) return false;
+  std::size_t target = 0;
+  for (std::size_t c = 1; c < k; ++c) {
+    if (bytes[c] < bytes[target]) target = c;
+  }
+  if (target == busiest) return false;
+  // The same strict-max-reduction oscillation guard as the single-sim host.
+  const std::uint64_t cap = tenants_[pick].capacity_bytes;
+  if (std::max(bytes[busiest] - cap, bytes[target] + cap) >= bytes[busiest]) {
+    return false;
+  }
+  start_fleet_migration(pick, static_cast<int>(target));
+  return true;
+}
+
+bool ShardedHost::fleet_rebalance_signal() {
+  // Windowed busy/stall deltas between consecutive barriers — the sliced
+  // analogue of the single-sim signal path, reading each cluster's
+  // occupancy through its shard host.
+  const auto k = static_cast<std::size_t>(cfg_.clusters);
+  if (signal_at_check_.size() != k) signal_at_check_.assign(k, 0);
+  std::vector<SimTime> delta(k, 0);
+  SimTime total = 0;
+  std::size_t busiest = 0;
+  std::size_t coolest = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const SimTime now_signal =
+        shards_[c].host->cluster(0).busy_stats().signal();
+    delta[c] = now_signal - signal_at_check_[c];
+    signal_at_check_[c] = now_signal;
+    total += delta[c];
+    if (delta[c] > delta[busiest]) busiest = c;
+    if (delta[c] < delta[coolest]) coolest = c;
+  }
+  if (total == 0 || busiest == coolest) return false;
+  const double mean = static_cast<double>(total) / static_cast<double>(k);
+  if (static_cast<double>(delta[busiest]) <= cfg_.rebalance_watermark * mean) {
+    return false;
+  }
+  std::size_t pick = tenants_.size();
+  double pick_bps = 0.0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (static_cast<std::size_t>(fleet_cluster_of_[i]) != busiest) continue;
+    if (fleet_migrating_[i] || fleet_migrated_[i]) continue;
+    if (fleet_tenant_finished(i)) continue;
+    const double bps = expected_offered_bps(tenants_[i]);
+    if (pick == tenants_.size() || bps > pick_bps) {
+      pick = i;
+      pick_bps = bps;
+    }
+  }
+  if (pick == tenants_.size()) return false;
+  start_fleet_migration(pick, static_cast<int>(coolest));
+  return true;
+}
+
+void ShardedHost::start_fleet_migration(std::size_t tenant, int to_cluster) {
+  const std::size_t home = shard_of_tenant_[tenant];
+  const int from = fleet_cluster_of_[tenant];
+  MultiClusterHost& home_host = *shards_[home].host;
+  // The tenant's device lives in its home shard forever; its *current*
+  // cluster (after earlier migrations) is whatever the device targets.
+  essd::EssdDevice& dev = home_host.device_mut(local_of_tenant_[tenant]);
+  ebs::StorageCluster& src = dev.cluster();
+  ebs::StorageCluster& dst =
+      shards_[static_cast<std::size_t>(to_cluster)].host->cluster_mut(0);
+  const ebs::VolumeId src_vol = dev.volume();
+  const ebs::VolumeId dst_vol =
+      dst.attach_volume(tenants_[tenant].capacity_bytes);
+  // Carry the tenant's WFQ weight to the new home, exactly as the
+  // single-sim host does.
+  dst.set_volume_weight(dst_vol, tenants_[tenant].weight);
+  records_.push_back(MigrationRecord{tenant, from, to_cluster, {}});
+  const std::size_t record = records_.size() - 1;
+  fleet_migrating_[tenant] = 1;
+  // The done-callback runs on whichever worker advances this migration's
+  // fused group; it touches only this tenant's/record's slots, which no
+  // other group can reach, and the coordinator reads them at barriers only.
+  auto migrator = std::make_unique<VolumeMigrator>(
+      *shards_[home].sim, dev, src, src_vol, dst, dst_vol, cfg_.migration,
+      [this, tenant, to_cluster, record] {
+        fleet_cluster_of_[tenant] = to_cluster;
+        fleet_migrating_[tenant] = 0;
+        fleet_migrated_[tenant] = 1;
+        records_[record].stats = record_migrator_[record]->stats();
+      },
+      nullptr);
+  record_migrator_.push_back(migrator.get());
+  record_pacer_.push_back(nullptr);
+  migrators_.push_back(std::move(migrator));
+  reconcile_pacers();
+  peak_concurrent_ = std::max(peak_concurrent_, fleet_active_migrations());
+  migrators_.back()->start();
+}
+
+void ShardedHost::reconcile_pacers() {
+  // Copy bandwidth is budgeted per fused group: every active migration in
+  // one coupled component shares one pacer (serialized reservations), and
+  // when components merge the earliest record's pacer survives with the
+  // max of the reservation high-waters (`absorb`).  Only ever called at a
+  // barrier, where all member clocks agree.
+  if (cfg_.budget.copy_bandwidth_bps <= 0.0) return;
+  const std::vector<std::vector<std::size_t>> groups = coupled_groups();
+  std::vector<std::size_t> group_of(shards_.size(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const std::size_t s : groups[g]) group_of[s] = g;
+  }
+  std::vector<MigrationPacer*> survivor(groups.size(), nullptr);
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    if (record_migrator_[r]->finished()) continue;
+    const std::size_t g =
+        group_of[static_cast<std::size_t>(records_[r].to_cluster)];
+    if (survivor[g] == nullptr) {
+      if (record_pacer_[r] == nullptr) {
+        pacers_.push_back(
+            std::make_unique<MigrationPacer>(cfg_.budget.copy_bandwidth_bps));
+        record_pacer_[r] = pacers_.back().get();
+        record_migrator_[r]->set_pacer(record_pacer_[r]);
+      }
+      survivor[g] = record_pacer_[r];
+    } else if (record_pacer_[r] != survivor[g]) {
+      if (record_pacer_[r] != nullptr) survivor[g]->absorb(*record_pacer_[r]);
+      record_pacer_[r] = survivor[g];
+      record_migrator_[r]->set_pacer(survivor[g]);
+    }
+  }
+}
+
 void ShardedHost::check_invariants() const {
   for (const Shard& sh : shards_) {
     if (sh.host == nullptr) continue;
@@ -698,7 +1057,13 @@ PlacementScenarioResult run_placement_scenario(
   std::unique_ptr<MultiClusterHost> host;
   std::unique_ptr<ShardedHost> sharded;
   PlacementResult run;
-  if (exec.threads() > 1) {
+  // Rebalancing fleets take the epoch-sliced ShardedHost at *every* thread
+  // count — digests must be invariant down to --threads 1, so one thread
+  // runs the same sliced schedule inline.  Non-rebalancing fleets keep the
+  // byte-identical single-simulator path at one thread.
+  const bool sliced = opt.placement.clusters > 1 &&
+                      opt.placement.rebalance_watermark > 1.0;
+  if (exec.threads() > 1 || sliced) {
     sharded = std::make_unique<ShardedHost>(setup.base, setup.tenants,
                                             opt.placement);
     run = sharded->run(exec);

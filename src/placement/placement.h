@@ -103,6 +103,13 @@ struct PlacementConfig {
   /// the single-migration, unpaced behaviour exactly).
   MigrationBudget budget;
 
+  /// Epoch-sliced parallel execution (rebalancing fleets only): length of
+  /// one slice — the interval between coordinator barriers where the
+  /// placement policy runs and shard fusion/splitting is decided.  0 (the
+  /// default) uses `rebalance_interval`, so rebalance decisions keep their
+  /// single-simulator cadence.
+  SimTime slice = 0;
+
   /// Shard construction (set by `ShardedHost`, not by end users): this
   /// host's cluster `c` is cluster `first_cluster + c` of the fleet, so its
   /// seed strides — and therefore every digest — match the cluster's
@@ -126,6 +133,17 @@ struct MigrationRecord {
   int from_cluster = 0;
   int to_cluster = 0;
   MigrationStats stats;
+};
+
+/// Accounting for the epoch-sliced parallel run (zero on the single-sim
+/// and static-shard paths).  Reported, never digest-mixed: the partition
+/// evolution depends only on config + signals, so these are themselves
+/// thread-count-invariant, but they describe the engine, not the fleet.
+struct SliceExecStats {
+  std::uint64_t slices = 0;   ///< slice barriers crossed
+  std::uint64_t fusions = 0;  ///< net group merges across barriers
+  std::uint64_t splits = 0;   ///< net group splits across barriers
+  int max_group_clusters = 1; ///< largest fused group ever advanced together
 };
 
 /// Outcome of a multi-cluster colocated run.
@@ -156,6 +174,8 @@ struct PlacementResult {
   /// runs sum their shard simulators; the total matches the single-sim run
   /// because every event belongs to exactly one cluster's shard.
   std::uint64_t sim_events = 0;
+  /// Slice/fusion accounting when the run used the epoch-sliced engine.
+  SliceExecStats sliced;
 };
 
 /// N tenants over K clusters: one simulator, one `EssdDevice` +
@@ -179,12 +199,29 @@ class MultiClusterHost {
   void run_fill();
   PlacementResult run_measure(SimTime measure_start);
 
+  /// Finer-grained measure phases for the epoch-sliced engine:
+  /// `begin_measure(t)` advances the idle clock to `t`, snapshots the
+  /// before-stats, and starts every load; `collect_measure()` (after the
+  /// caller drained the simulator however it liked — `sim.run()`, or slice
+  /// by slice under a coordinator) builds the result.  `run_measure` is
+  /// exactly begin + internal rebalance scheduling + `sim.run()` + collect.
+  void begin_measure(SimTime measure_start);
+  PlacementResult collect_measure();
+
   std::size_t tenant_count() const { return tenants_.size(); }
   const tenant::TenantSpec& spec(std::size_t i) const { return tenants_[i]; }
   int cluster_count() const { return static_cast<int>(clusters_.size()); }
   const ebs::StorageCluster& cluster(int c) const {
     return *clusters_[static_cast<std::size_t>(c)];
   }
+  /// Mutable cluster/device access for the sliced coordinator, which wires
+  /// cross-shard migrations through the shard hosts' own objects.
+  ebs::StorageCluster& cluster_mut(int c) {
+    return *clusters_[static_cast<std::size_t>(c)];
+  }
+  essd::EssdDevice& device_mut(std::size_t i) { return *devices_[i]; }
+  /// Whether tenant `i`'s load source has completed (fill + measured run).
+  bool tenant_finished(std::size_t i) const { return sources_[i]->finished(); }
   int cluster_of(std::size_t tenant) const { return cluster_of_[tenant]; }
   /// The volume currently serving tenant `i` (its new home after a
   /// migration cut over).
@@ -244,8 +281,15 @@ class MultiClusterHost {
   /// Per-cluster busy/stall signal at the previous rebalance check — the
   /// baseline the signal-driven path diffs against.
   std::vector<SimTime> signal_at_check_;
+  /// Before-stats snapshotted by `begin_measure` so `collect_measure` can
+  /// report window deltas.
+  std::vector<ebs::ClusterStats> cluster_before_;
+  std::vector<ebs::CleanerStats> cleaner_before_;
+  std::vector<ebs::ClusterBusyStats> busy_before_;
+  SimTime measure_start_ = 0;
   int peak_concurrent_ = 0;
   bool filled_ = false;
+  bool measuring_ = false;
   bool ran_ = false;
 };
 
@@ -263,10 +307,11 @@ struct ShardPlan {
 };
 
 /// The partition rule (see docs/ARCHITECTURE.md, "Threading model"):
-/// one shard per cluster — clusters only share a simulator when they can
-/// interact, and with rebalancing off they never do — except when
-/// `rebalance_watermark > 1.0`, where live migration couples arbitrary
-/// cluster pairs and the whole fleet co-shards onto one simulator.
+/// one shard per cluster, always.  With rebalancing off, clusters never
+/// interact and the shards are independent for the whole run; with
+/// rebalancing on, live migration couples *specific* cluster pairs for a
+/// *bounded window*, and the epoch-sliced engine fuses exactly those
+/// shards for exactly that window instead of co-sharding the whole fleet.
 ShardPlan compute_shard_plan(const PlacementConfig& cfg);
 
 /// One FNV-1a digest per shard condensing everything tenant- and
@@ -281,23 +326,41 @@ std::vector<std::uint64_t> shard_digests(const ShardPlan& plan,
 /// The parallel fleet: the same tenants, policy, and seeds as one
 /// `MultiClusterHost`, but partitioned by `compute_shard_plan` into
 /// single-`Simulator` shards that advance concurrently on a
-/// `sim::ParallelExecutor` and synchronize at two epoch barriers (after the
-/// precondition fill, and after the measured run).  Merged results are
-/// bit-identical to the single-simulator host: shards share no state
-/// between barriers, per-cluster seeds come from the global
+/// `sim::ParallelExecutor`.
+///
+/// Non-rebalancing fleets run the *static* schedule: two epoch barriers
+/// (after the precondition fill, and after the measured run), merged
+/// results bit-identical to the single-simulator host — shards share no
+/// state between barriers, per-cluster seeds come from the global
 /// `first_cluster` offsets, and the fill barrier reproduces the global
 /// measured-window start (the max drain time across shards).
+///
+/// Rebalancing fleets (`rebalance_watermark > 1.0`, > 1 cluster) run the
+/// *epoch-sliced* schedule at every thread count: the measured window is
+/// cut into fixed-length slices; within a slice each fused shard group
+/// advances independently; at each slice barrier the coordinator reads the
+/// per-cluster busy/stall signals, runs the placement policy (at most one
+/// migration per barrier, under the `MigrationBudget`), and fuses exactly
+/// the coupled source/dest/home shards of live migrations into merged
+/// groups that advance in event-timestamp lockstep.  After cutover, the
+/// coupling shrinks to {home, destination} until the tenant's load drains,
+/// then the group splits back.  Partition evolution depends only on config
+/// + signals — never on the thread count — so per-shard digests are
+/// bit-identical at any `--threads` value.
 class ShardedHost {
  public:
   ShardedHost(const essd::EssdConfig& base,
               std::vector<tenant::TenantSpec> tenants,
               const PlacementConfig& cfg);
 
-  /// Two epochs on `exec` (fill, measure) + a coordinator merge.
+  /// Static: two epochs on `exec` (fill, measure) + a coordinator merge.
+  /// Sliced: a fill epoch, then one epoch per slice over the fused groups.
   PlacementResult run(sim::ParallelExecutor& exec);
 
   const ShardPlan& plan() const { return plan_; }
   std::size_t tenant_count() const { return tenants_.size(); }
+  /// Whether `run` uses the epoch-sliced schedule (rebalancing fleets).
+  bool sliced() const { return sliced_; }
   void check_invariants() const;
   /// Same solo baseline the single-simulator host would compute: the shard
   /// host owning tenant `i` reruns it alone with its global cluster seeds.
@@ -309,8 +372,39 @@ class ShardedHost {
     int clusters = 0;
     std::vector<std::size_t> tenant;  ///< global spec index per local index
     std::unique_ptr<sim::Simulator> sim;      ///< null when no tenants landed
-    std::unique_ptr<MultiClusterHost> host;   ///< here (idle clusters)
+    std::unique_ptr<MultiClusterHost> host;   ///< here (static runs only)
   };
+
+  PlacementResult run_static(sim::ParallelExecutor& exec);
+  PlacementResult run_sliced(sim::ParallelExecutor& exec);
+  /// Coordinator merge shared by both schedules (local -> global indices,
+  /// shard migration logs, makespan/event folds).
+  PlacementResult merge_parts(std::vector<PlacementResult> part,
+                              SimTime measure_start) const;
+
+  // --- epoch-sliced engine (coordinator side, barriers only) ---
+  /// Advances every member simulator of one fused group to `bound`,
+  /// stepping the members in event-timestamp lockstep so cross-simulator
+  /// callbacks (migration copies, a cutover tenant's remote cluster) always
+  /// observe aligned clocks.
+  void advance_group(const std::vector<std::size_t>& members, SimTime bound);
+  /// The current shard partition: union-find over the live couplings
+  /// (active migrations couple {home, source, dest}; a cutover-but-
+  /// undrained tenant couples {home, current cluster}), rebuilt from
+  /// scratch at every barrier, ordered by smallest member shard.
+  std::vector<std::vector<std::size_t>> coupled_groups() const;
+  /// One watermark check at a slice barrier; mirrors
+  /// `MultiClusterHost::maybe_rebalance` at fleet scope.
+  bool fleet_rebalance();
+  bool fleet_rebalance_bytes();
+  bool fleet_rebalance_signal();
+  void start_fleet_migration(std::size_t tenant, int to_cluster);
+  /// Collapses the pacers of newly-fused groups into one survivor and gives
+  /// fresh migrations theirs (copy bandwidth is budgeted per fused group).
+  void reconcile_pacers();
+  int fleet_active_migrations() const;
+  bool fleet_under_budget() const;
+  bool fleet_tenant_finished(std::size_t tenant) const;
 
   essd::EssdConfig base_;
   PlacementConfig cfg_;
@@ -320,6 +414,24 @@ class ShardedHost {
   std::vector<Shard> shards_;
   std::vector<std::size_t> shard_of_tenant_;
   std::vector<std::size_t> local_of_tenant_;
+
+  // Sliced-mode coordinator state.  Mutated either at barriers (single
+  // threaded) or from migration done-callbacks, which run on the worker
+  // advancing the migration's fused group — distinct tenants/records per
+  // group, and byte-sized flags, so groups never race.
+  bool sliced_ = false;
+  SimTime slice_ = 0;
+  std::vector<int> fleet_cluster_of_;          ///< current cluster per tenant
+  std::vector<std::uint8_t> fleet_migrating_;  ///< mid-migration
+  std::vector<std::uint8_t> fleet_migrated_;   ///< moved once (signal path)
+  std::vector<std::unique_ptr<VolumeMigrator>> migrators_;
+  std::vector<VolumeMigrator*> record_migrator_;
+  std::vector<MigrationPacer*> record_pacer_;  ///< per record; null = unpaced
+  std::vector<std::unique_ptr<MigrationPacer>> pacers_;
+  std::vector<MigrationRecord> records_;
+  std::vector<SimTime> signal_at_check_;
+  int peak_concurrent_ = 0;
+  SliceExecStats slice_stats_;
   bool ran_ = false;
 };
 

@@ -110,6 +110,24 @@ bool Simulator::fire_events(SimTime bound) {
   return false;
 }
 
+SimTime Simulator::next_event_time() {
+  while (!heap_empty()) {
+    const Key top = heap_[kHeapRoot];
+    const auto s = static_cast<std::uint32_t>(top.order & kSlotMask);
+    Meta& m = meta_[s];
+    if ((m.link & kCancelledBit) == 0) return top.time;
+    heap_pop_min();  // recycle the cancelled head, exactly like the fire loop
+    free_slot(s, m);
+  }
+  return kNoTime;
+}
+
+void Simulator::advance_to(SimTime t) {
+  UC_ASSERT(next_event_time() >= t,
+            "advance_to would skip a pending event");
+  if (now_ < t) now_ = t;
+}
+
 void Simulator::run() { fire_events<false>(kNoTime); }
 
 void Simulator::run_until(SimTime t) {

@@ -152,6 +152,22 @@ class Simulator {
   bool idle() const { return live_events_ == 0; }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Timestamp of the earliest live event, or `kNoTime` when the queue is
+  /// empty.  Non-const only because cancelled keys surfacing at the heap
+  /// top are recycled on the way (observable state is unchanged) — the
+  /// peek primitive of lockstep co-simulation, where a driver advances a
+  /// *group* of simulators in global time order (`placement::ShardedHost`
+  /// fused shards).
+  SimTime next_event_time();
+
+  /// Advances the clock to `t` without firing anything; every live event
+  /// must already sit at `t` or later.  The lockstep driver calls this on
+  /// each group member *before* firing the events at `t`, so a callback
+  /// that reaches into a sibling simulator (cross-cluster migration
+  /// traffic) finds its clock — and therefore every latency it computes —
+  /// already aligned.
+  void advance_to(SimTime t);
+
   /// Test hook: forces the schedule sequence close to its packing limit so
   /// the renormalization path (reached after ~1.1e12 schedules in
   /// production) can be exercised.  Not for use outside tests.

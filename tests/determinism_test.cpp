@@ -13,6 +13,7 @@
 #include "common/units.h"
 #include "contract/replay.h"
 #include "essd/essd_device.h"
+#include "fleet/fleet.h"
 #include "placement/placement.h"
 #include "ssd/ssd_device.h"
 #include "tenant/scenarios.h"
@@ -291,6 +292,49 @@ TEST(Determinism, FleetDigestsMatchPreMappingRefactorHead) {
     EXPECT_EQ(r.shard_digest, want) << "threads " << threads;
     EXPECT_EQ(r.sim_events, 18333u) << "threads " << threads;
     EXPECT_EQ(r.makespan, 500337469u) << "threads " << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-sliced rebalancing fleet: the fused-shard engine's digests, event
+// count, and slice accounting are pinned across the whole thread matrix.
+// Rebalancing fleets run the sliced schedule at *every* thread count (one
+// thread runs the same slice barriers inline), so any divergence here means
+// the partition evolution leaked a thread-count dependence.
+// ---------------------------------------------------------------------------
+
+fleet::FleetReport run_sliced_rebalance_fleet(int threads) {
+  fleet::FleetSpec spec;
+  spec.clusters = 4;
+  spec.tenants = 12;
+  spec.seed = 11;
+  spec.duration = 150 * kMs;
+  spec.diurnal_period = 80 * kMs;
+  spec.mean_iops = 400.0;
+  spec.max_tenant_iops = 4000.0;
+  spec.burst_iops = 2000.0;
+  spec.rebalance_watermark = 1.05;
+  spec.rebalance_interval = 10 * kMs;
+  spec.budget.max_concurrent = 2;
+  spec.budget.max_total = 3;
+  spec.budget.copy_bandwidth_bps = 200e6;
+  return fleet::run_fleet(spec, {.threads = threads});
+}
+
+TEST(Determinism, SlicedRebalanceDigestMatrixIsPinned) {
+  const fleet::FleetReport base = run_sliced_rebalance_fleet(1);
+  ASSERT_EQ(base.digests.size(), 4u);  // shard-per-cluster, rebalancing on
+  EXPECT_GT(base.raw.sliced.slices, 0u);
+  for (const int threads : {2, 4, 8}) {
+    const fleet::FleetReport r = run_sliced_rebalance_fleet(threads);
+    EXPECT_EQ(r.digests, base.digests) << "threads " << threads;
+    EXPECT_EQ(r.sim_events, base.sim_events) << "threads " << threads;
+    EXPECT_EQ(r.makespan, base.makespan) << "threads " << threads;
+    EXPECT_EQ(r.raw.sliced.slices, base.raw.sliced.slices);
+    EXPECT_EQ(r.raw.sliced.fusions, base.raw.sliced.fusions);
+    EXPECT_EQ(r.raw.sliced.splits, base.raw.sliced.splits);
+    EXPECT_EQ(r.raw.sliced.max_group_clusters,
+              base.raw.sliced.max_group_clusters);
   }
 }
 

@@ -187,9 +187,17 @@ TEST(RunFleet, MigrationBudgetBoundsChurn) {
     EXPECT_NE(m.from_cluster, m.to_cluster);
     EXPECT_EQ(rep.raw.final_cluster[m.tenant], m.to_cluster);
   }
-  // A rebalancing fleet co-shards, so threaded runs still digest identically.
+  // A rebalancing fleet runs the epoch-sliced engine at every thread count,
+  // so threaded runs digest identically to the one-thread sliced run.
   const FleetReport threaded = run_fleet(spec, {.threads = 4});
   EXPECT_EQ(rep.digests, threaded.digests);
+  EXPECT_EQ(rep.raw.sliced.slices, threaded.raw.sliced.slices);
+  EXPECT_EQ(rep.raw.sliced.fusions, threaded.raw.sliced.fusions);
+  EXPECT_EQ(rep.raw.sliced.splits, threaded.raw.sliced.splits);
+  if (rep.migrations > 0) {
+    EXPECT_GE(rep.raw.sliced.fusions, 1u);
+    EXPECT_GE(rep.raw.sliced.max_group_clusters, 2);
+  }
 }
 
 }  // namespace

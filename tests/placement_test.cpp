@@ -120,17 +120,20 @@ TEST(ShardPlan, OneShardPerClusterWithoutRebalancing) {
   }
 }
 
-TEST(ShardPlan, RebalancingFleetCoShards) {
-  // Live migration touches source and destination clusters inside one
-  // simulator, so a rebalancing fleet must stay on a single shard.
+TEST(ShardPlan, RebalancingFleetStaysShardPerCluster) {
+  // Live migration couples specific cluster pairs for bounded windows; the
+  // epoch-sliced engine fuses exactly those shards at runtime, so the plan
+  // never co-shards the whole fleet.
   placement::PlacementConfig cfg;
   cfg.clusters = 4;
   cfg.rebalance_watermark = 1.25;
   const placement::ShardPlan plan = placement::compute_shard_plan(cfg);
-  ASSERT_EQ(plan.shards(), 1u);
-  EXPECT_EQ(plan.first_cluster[0], 0);
-  EXPECT_EQ(plan.clusters[0], 4);
-  EXPECT_EQ(plan.shard_of_cluster(3), 0);
+  ASSERT_EQ(plan.shards(), 4u);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(plan.first_cluster[static_cast<std::size_t>(c)], c);
+    EXPECT_EQ(plan.clusters[static_cast<std::size_t>(c)], 1);
+    EXPECT_EQ(plan.shard_of_cluster(c), c);
+  }
 }
 
 TEST(ShardPlan, SingleClusterIsOneShard) {
@@ -408,6 +411,71 @@ TEST(MultiClusterHost, WatermarkMigrationRebalancesPackedPlacement) {
             host.cluster(0).total_pool_bytes());
   EXPECT_TRUE(host.cluster(0).check_invariants());
   EXPECT_TRUE(host.cluster(1).check_invariants());
+}
+
+TEST(SlicedShardedHost, FusedRebalanceIsThreadCountInvariant) {
+  // The same packed fleet the single-sim watermark test repairs, but run
+  // through the epoch-sliced ShardedHost: cluster 1 starts empty (pack is
+  // unbounded), so the coordinator must migrate into an idle shard, fusing
+  // {source, destination} while the copy is live and splitting back after
+  // the cutover drains.  Digests and slice accounting must be identical at
+  // every thread count — including one thread, which runs the same sliced
+  // schedule inline.
+  essd::EssdConfig base = essd::aws_io2_profile(64 * kMiB);
+  base.cluster.spare_pool_bytes = 256 * kMiB;
+  std::vector<tenant::TenantSpec> tenants;
+  tenants.push_back(small_tenant("t0", 64 * kMiB, 3000, 21));
+  tenants.push_back(small_tenant("t1", 64 * kMiB, 3000, 22));
+  tenants.push_back(small_tenant("t2", 64 * kMiB, 3000, 23));
+  for (auto& t : tenants) t.weight = 2.5;
+
+  placement::PlacementConfig cfg;
+  cfg.clusters = 2;
+  cfg.policy = placement::Policy::kPack;  // unbounded: all on cluster 0
+  cfg.rebalance_watermark = 1.2;
+  cfg.rebalance_interval = 5 * kMs;
+
+  const auto run_with = [&](int threads) {
+    sim::ParallelExecutor exec(threads);
+    placement::ShardedHost host(base, tenants, cfg);
+    EXPECT_TRUE(host.sliced());
+    placement::PlacementResult r = host.run(exec);
+    host.check_invariants();
+    // One fill epoch, then exactly one epoch per slice.
+    EXPECT_EQ(exec.epochs(), 1u + r.sliced.slices);
+    return r;
+  };
+
+  const placement::PlacementResult r1 = run_with(1);
+  EXPECT_EQ(r1.initial_cluster, (std::vector<int>{0, 0, 0}));
+  ASSERT_EQ(r1.migrations.size(), 1u);
+  const auto& mig = r1.migrations[0];
+  EXPECT_EQ(mig.from_cluster, 0);
+  EXPECT_EQ(mig.to_cluster, 1);
+  EXPECT_GT(mig.stats.pages_copied, 0u);
+  EXPECT_GT(mig.stats.cutover, 0u);
+  EXPECT_EQ(r1.final_cluster[mig.tenant], 1);
+  for (const auto& s : r1.stats) {
+    EXPECT_EQ(s.total_ops(), 3000u);  // nobody lost I/O across the cutover
+  }
+  EXPECT_GT(r1.sliced.slices, 0u);
+  EXPECT_GE(r1.sliced.fusions, 1u);  // src+dst fused while the copy ran
+  EXPECT_GE(r1.sliced.splits, 1u);   // and split back once it drained
+  EXPECT_EQ(r1.sliced.max_group_clusters, 2);
+
+  const placement::ShardPlan plan = placement::compute_shard_plan(cfg);
+  ASSERT_EQ(plan.shards(), 2u);  // rebalancing no longer co-shards
+  const std::vector<std::uint64_t> d1 = placement::shard_digests(plan, r1);
+  for (const int threads : {2, 4}) {
+    const placement::PlacementResult rt = run_with(threads);
+    EXPECT_EQ(placement::shard_digests(plan, rt), d1) << threads;
+    EXPECT_EQ(rt.sim_events, r1.sim_events) << threads;
+    EXPECT_EQ(rt.sliced.slices, r1.sliced.slices) << threads;
+    EXPECT_EQ(rt.sliced.fusions, r1.sliced.fusions) << threads;
+    EXPECT_EQ(rt.sliced.splits, r1.sliced.splits) << threads;
+    EXPECT_EQ(rt.sliced.max_group_clusters, r1.sliced.max_group_clusters)
+        << threads;
+  }
 }
 
 // End-to-end relief: the cleaner-pressure mix packed onto cluster 0 of 2

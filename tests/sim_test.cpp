@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -521,9 +522,42 @@ TEST(ParallelExecutor, ClampsThreadsAndCountsEpochs) {
   ParallelExecutor exec(0);
   EXPECT_EQ(exec.threads(), 1);
   exec.run_epoch(0, [](std::size_t) { FAIL() << "no shards to run"; });
+  EXPECT_EQ(exec.epochs(), 0u);  // a zero-shard call ran no barrier
   exec.run_epoch(3, [](std::size_t) {});
-  EXPECT_EQ(exec.epochs(), 2u);
+  EXPECT_EQ(exec.epochs(), 1u);
   EXPECT_GE(ParallelExecutor::max_threads(), 1);
+}
+
+TEST(ParallelExecutor, ShardExceptionRethrownAtTheBarrier) {
+  // A throwing shard body must surface on the coordinating thread (not
+  // std::terminate a worker), every other shard must still run, and the
+  // pool must stay usable for the next epoch.
+  for (const int threads : {1, 4}) {
+    ParallelExecutor exec(threads);
+    constexpr std::size_t kShards = 8;
+    std::array<std::atomic<int>, kShards> hits{};
+    bool caught = false;
+    try {
+      exec.run_epoch(kShards, [&hits](std::size_t s) {
+        hits[s].fetch_add(1, std::memory_order_relaxed);
+        if (s == 3) throw std::runtime_error("shard 3 failed");
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "shard 3 failed");
+    }
+    EXPECT_TRUE(caught) << "threads " << threads;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      EXPECT_EQ(hits[s].load(), 1) << "shard " << s << " threads " << threads;
+    }
+    // The pool survives the failed epoch.
+    std::atomic<int> ran{0};
+    exec.run_epoch(kShards, [&ran](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), static_cast<int>(kShards));
+    EXPECT_EQ(exec.epochs(), 2u);
+  }
 }
 
 }  // namespace
